@@ -1,0 +1,102 @@
+//! Prediction throughput microbenchmarks: simulated branches per second
+//! for every predictor at its paper configuration.
+//!
+//! These are the latency/energy proxies behind the paper's argument that
+//! fewer tagged tables (BF-TAGE) mean less work per prediction: compare
+//! `isl_tage_15` against `bf_isl_tage_10` and the smaller counts.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfbp_core::bf_neural::BfNeural;
+use bfbp_core::bf_tage::bf_isl_tage;
+use bfbp_predictors::piecewise::PiecewiseLinear;
+use bfbp_predictors::snap::ScaledNeural;
+use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::simulate::simulate;
+use bfbp_tage::isl::isl_tage;
+use bfbp_trace::record::Trace;
+use bfbp_trace::synth::suite;
+
+const BENCH_BRANCHES: usize = 20_000;
+
+fn bench_trace() -> Trace {
+    suite::find("SPEC00")
+        .expect("SPEC00 in suite")
+        .generate_len(BENCH_BRANCHES)
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("predictor_throughput");
+    group
+        .throughput(Throughput::Elements(trace.len() as u64))
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    macro_rules! bench {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut p = $make;
+                    black_box(simulate(&mut p, &trace).mispredictions())
+                })
+            });
+        };
+    }
+
+    bench!("piecewise_linear_64kb", PiecewiseLinear::conventional_64kb());
+    bench!("oh_snap_64kb", ScaledNeural::budget_64kb());
+    bench!("isl_tage_15", isl_tage(15));
+    bench!("isl_tage_10", isl_tage(10));
+    bench!("isl_tage_7", isl_tage(7));
+    bench!("bf_neural_64kb", BfNeural::budget_64kb());
+    bench!("bf_isl_tage_10", bf_isl_tage(10));
+    bench!("bf_isl_tage_7", bf_isl_tage(7));
+
+    group.finish();
+}
+
+fn bench_single_prediction(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("warm_predict_update");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    // Warm each predictor on the whole trace, then measure steady-state
+    // predict+update pairs on a fixed record stream.
+    let records: Vec<_> = trace
+        .iter()
+        .filter(|r| r.kind.is_conditional())
+        .copied()
+        .collect();
+
+    macro_rules! bench_warm {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                let mut p = $make;
+                simulate(&mut p, &trace);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let r = &records[i % records.len()];
+                    i += 1;
+                    let g = p.predict(r.pc);
+                    p.update(r.pc, r.taken, r.target);
+                    black_box(g)
+                })
+            });
+        };
+    }
+
+    bench_warm!("bf_neural_steady", BfNeural::budget_64kb());
+    bench_warm!("bf_isl_tage_10_steady", bf_isl_tage(10));
+    bench_warm!("isl_tage_15_steady", isl_tage(15));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors, bench_single_prediction);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks for the paper's hardware structures: recency-stack
+//! operations (Figure 3), BST transitions (Figure 5), folded-history
+//! updates, and segmented BF-GHR commits (Figure 7).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bfbp_core::bf_ghr::BfGhr;
+use bfbp_core::bst::Bst;
+use bfbp_core::recency::RecencyStack;
+use bfbp_predictors::history::{BucketedFolds, ManagedHistory};
+
+fn bench_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structures");
+    group
+        .throughput(Throughput::Elements(1))
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("recency_stack_record_48", |b| {
+        let mut rs = RecencyStack::new(48);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            rs.record(black_box(now % 64), now % 2 == 0, now);
+        })
+    });
+
+    group.bench_function("bst_commit", |b| {
+        let mut bst = Bst::new(14);
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4);
+            black_box(bst.commit(pc, pc % 8 != 0));
+        })
+    });
+
+    group.bench_function("folded_history_push", |b| {
+        let mut m = ManagedHistory::new(2048, &[(1930, 11), (517, 12), (97, 10)]);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            m.push(k % 3 == 0);
+            black_box(m.fold(0));
+        })
+    });
+
+    group.bench_function("bucketed_folds_push", |b| {
+        let mut f = BucketedFolds::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            f.push(k % 3 == 0);
+            black_box(f.widest());
+        })
+    });
+
+    group.bench_function("bf_ghr_commit", |b| {
+        let mut ghr = BfGhr::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            ghr.commit(black_box((k % 4096) as u16), k % 2 == 0, k % 3 != 0);
+        })
+    });
+
+    group.bench_function("bf_ghr_collect_mixed", |b| {
+        let mut ghr = BfGhr::new();
+        for k in 0..4096u64 {
+            ghr.commit((k % 512) as u16, k % 2 == 0, k % 3 != 0);
+        }
+        let mut out = Vec::with_capacity(160);
+        b.iter(|| {
+            ghr.collect_mixed(&mut out);
+            black_box(out.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

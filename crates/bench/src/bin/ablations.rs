@@ -1,0 +1,6 @@
+//! Runs the design-choice ablation study (beyond the paper's Figure 9):
+//! positional history, folded history, loop predictor, probabilistic
+//! BST, stack depth, and the recent unfiltered component.
+fn main() {
+    bfbp_bench::experiments::design_ablations(bfbp_bench::scale(1.0));
+}

@@ -1,0 +1,57 @@
+//! Development diagnostic: per-PC misprediction breakdown for one trace
+//! and one predictor.
+
+use std::collections::HashMap;
+
+use bfbp_core::bf_neural::{BfNeural, BfNeuralConfig};
+use bfbp_core::bf_tage::bf_isl_tage;
+use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_tage::isl::isl_tage;
+use bfbp_trace::synth::suite;
+
+fn make(which: &str) -> Box<dyn ConditionalPredictor> {
+    match which {
+        "tage10" => Box::new(isl_tage(10)),
+        "tage15" => Box::new(isl_tage(15)),
+        "bftage10" => Box::new(bf_isl_tage(10)),
+        "bf" => Box::new(BfNeural::budget_64kb()),
+        "bf-fh" => Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist())),
+        "bf-bf" => Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist())),
+        other => panic!("unknown predictor {other}"),
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "SPEC03".into());
+    let which = std::env::args().nth(2).unwrap_or_else(|| "tage10".into());
+    let spec = suite::find(&name).expect("trace name");
+    let trace = spec.generate();
+    let mut p = make(&which);
+    let mut per_pc: HashMap<u64, (u64, u64, u64)> = HashMap::new(); // (mispredicts, total, late mispredicts)
+    let n = trace.len();
+    for (i, r) in trace.iter().enumerate() {
+        if r.kind.is_conditional() {
+            let guess = p.predict(r.pc);
+            let e = per_pc.entry(r.pc).or_default();
+            e.1 += 1;
+            if guess != r.taken {
+                e.0 += 1;
+                if i > n / 2 {
+                    e.2 += 1;
+                }
+            }
+            p.update(r.pc, r.taken, r.target);
+        } else {
+            p.track_other(r);
+        }
+    }
+    let total_misp: u64 = per_pc.values().map(|v| v.0).sum();
+    let total: u64 = per_pc.values().map(|v| v.1).sum();
+    println!("{name} / {which}: {total} cond, {total_misp} misp ({:.2}%)", 100.0*total_misp as f64/total as f64);
+    let mut rows: Vec<(u64, u64, u64, u64)> = per_pc.iter().map(|(pc, (m, t, l))| (*pc, *m, *t, *l)).collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+    println!("pc, misp, execs, rate, share, late-half-rate:");
+    for (pc, m, t, l) in rows.iter().take(20) {
+        println!("  {pc:#x}  {m:>6}  {t:>8}  {:>5.1}%  {:>5.1}%  late {:>5.1}%", 100.0 * *m as f64 / *t as f64, 100.0 * *m as f64 / total_misp as f64, 100.0 * *l as f64 / (*t as f64 / 2.0));
+    }
+}

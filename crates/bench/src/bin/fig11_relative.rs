@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (relative improvement over 10-table TAGE).
+fn main() {
+    bfbp_bench::experiments::fig11_relative(bfbp_bench::scale(1.0));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the §VI-D static-profile-assisted classification study.
+fn main() {
+    bfbp_bench::experiments::profile_assist(bfbp_bench::scale(1.0));
+}

@@ -1,0 +1,5 @@
+//! Runs the §IV-B re-learning perturbation study (idealized Algorithm 1
+//! vs the practical one-dimensional weight table).
+fn main() {
+    bfbp_bench::experiments::relearning_perturbation();
+}

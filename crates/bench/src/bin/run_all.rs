@@ -1,0 +1,16 @@
+//! Runs every figure and table experiment in sequence — the full
+//! evaluation of the paper (EXPERIMENTS.md records one such run).
+fn main() {
+    let scale = bfbp_bench::scale(1.0);
+    bfbp_bench::experiments::fig02_bias(scale);
+    bfbp_bench::experiments::fig08_mpki(scale);
+    bfbp_bench::experiments::fig08_32kb(scale);
+    bfbp_bench::experiments::fig09_ablation(scale);
+    bfbp_bench::experiments::fig10_tables(scale);
+    bfbp_bench::experiments::fig11_relative(scale);
+    bfbp_bench::experiments::fig12_hits(scale);
+    bfbp_bench::experiments::table1_storage();
+    bfbp_bench::experiments::profile_assist(scale);
+    bfbp_bench::experiments::design_ablations(scale);
+    bfbp_bench::experiments::relearning_perturbation();
+}

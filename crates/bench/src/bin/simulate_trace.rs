@@ -1,0 +1,83 @@
+//! Run any predictor over a trace file in the BFBT binary format —
+//! the entry point for using this library on your own recorded traces.
+//!
+//! ```sh
+//! simulate_trace <trace.bfbt> [predictor]
+//! ```
+//!
+//! Predictors: bf-neural (default), bf-isl-tage-10, isl-tage-15,
+//! isl-tage-10, oh-snap, piecewise, gshare, bimodal.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use bfbp_core::bf_neural::BfNeural;
+use bfbp_core::bf_tage::bf_isl_tage;
+use bfbp_predictors::bimodal::Bimodal;
+use bfbp_predictors::gshare::Gshare;
+use bfbp_predictors::piecewise::PiecewiseLinear;
+use bfbp_predictors::snap::ScaledNeural;
+use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::simulate::simulate_stream;
+use bfbp_tage::isl::isl_tage;
+use bfbp_trace::format::TraceReader;
+
+fn make(which: &str) -> Option<Box<dyn ConditionalPredictor>> {
+    Some(match which {
+        "bf-neural" => Box::new(BfNeural::budget_64kb()),
+        "bf-isl-tage-10" => Box::new(bf_isl_tage(10)),
+        "isl-tage-15" => Box::new(isl_tage(15)),
+        "isl-tage-10" => Box::new(isl_tage(10)),
+        "oh-snap" => Box::new(ScaledNeural::budget_64kb()),
+        "piecewise" => Box::new(PiecewiseLinear::conventional_64kb()),
+        "gshare" => Box::new(Gshare::budget_64kb()),
+        "bimodal" => Box::new(Bimodal::default_64kb_base()),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: simulate_trace <trace.bfbt> [predictor]");
+        return ExitCode::FAILURE;
+    };
+    let which = args.next().unwrap_or_else(|| "bf-neural".to_owned());
+    let Some(mut predictor) = make(&which) else {
+        eprintln!(
+            "unknown predictor {which}; try bf-neural, bf-isl-tage-10, \
+             isl-tage-15, isl-tage-10, oh-snap, piecewise, gshare, bimodal"
+        );
+        return ExitCode::FAILURE;
+    };
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let reader = match TraceReader::new(BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = reader.name().to_owned();
+    let mut records = Vec::new();
+    for r in reader {
+        match r {
+            Ok(rec) => records.push(rec),
+            Err(e) => {
+                eprintln!("trace error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = simulate_stream(predictor.as_mut(), &name, records);
+    println!("{result}");
+    println!("storage: {:.2} KiB", predictor.storage().total_kib());
+    ExitCode::SUCCESS
+}

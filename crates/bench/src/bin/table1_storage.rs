@@ -1,0 +1,4 @@
+//! Regenerates Table I (BF-TAGE 10-table storage budget).
+fn main() {
+    bfbp_bench::experiments::table1_storage();
+}

@@ -1,0 +1,364 @@
+//! The bias-free global history register (BF-GHR) built from segmented
+//! recency stacks — §V-B1, Figure 7 of the paper.
+//!
+//! A monolithic recency stack covering 2048 branches is impractical to
+//! search associatively, so BF-TAGE divides the raw history into
+//! non-overlapping segments whose sizes form a geometric-style series;
+//! each segment owns a small (8-entry) recency stack holding the most
+//! recent occurrence of each non-biased branch currently inside the
+//! segment. The concatenation of the newest 16 *unfiltered* entries (the
+//! paper keeps them unfiltered to limit detection perturbation, §VI-C)
+//! with every segment stack, in increasing depth order, is the BF-GHR:
+//! up to 2048 branches of raw history compressed into ≈144 entries.
+
+use std::collections::VecDeque;
+
+use bfbp_predictors::history::mix64;
+
+use crate::recency::RecencyStack;
+
+/// The paper's segment boundaries (§VI-C): "History segmentation divides
+/// the long global history into following non-overlapping segments such
+/// as {16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512, 768, 1024,
+/// 1280, 1536, 2048}".
+pub const SEGMENT_BOUNDARIES: [usize; 17] = [
+    16, 32, 48, 64, 80, 104, 128, 192, 256, 320, 416, 512, 768, 1024, 1280, 1536, 2048,
+];
+
+/// The paper's per-segment recency-stack size (§VI-C).
+pub const SEGMENT_RS_SIZE: usize = 8;
+
+/// One raw-history entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhrEntry {
+    /// 14-bit hashed branch address (Table I).
+    pub key: u16,
+    /// Resolved direction.
+    pub taken: bool,
+    /// Bias status recorded at commit time (Table I's "1 bit bias
+    /// status").
+    pub non_biased: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    start: usize,
+    end: usize,
+    rs: RecencyStack,
+}
+
+/// The segmented bias-free history register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfGhr {
+    unfiltered: VecDeque<GhrEntry>,
+    segments: Vec<Segment>,
+    recent: usize,
+    max_depth: usize,
+    now: u64,
+}
+
+impl BfGhr {
+    /// Creates a BF-GHR with the paper's boundaries, 16 recent unfiltered
+    /// entries, and 8-entry segment stacks.
+    pub fn new() -> Self {
+        Self::with_segments(&SEGMENT_BOUNDARIES, SEGMENT_RS_SIZE)
+    }
+
+    /// Creates a BF-GHR with custom boundaries. `boundaries[0]` is the
+    /// unfiltered prefix length; each consecutive pair forms a segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two boundaries are given, they are not
+    /// strictly increasing, or `rs_size` is zero.
+    pub fn with_segments(boundaries: &[usize], rs_size: usize) -> Self {
+        assert!(boundaries.len() >= 2, "need at least two boundaries");
+        assert!(rs_size > 0, "segment stack size must be non-zero");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "boundaries must be strictly increasing"
+        );
+        let segments = boundaries
+            .windows(2)
+            .map(|w| Segment {
+                start: w[0],
+                end: w[1],
+                rs: RecencyStack::new(rs_size),
+            })
+            .collect();
+        Self {
+            unfiltered: VecDeque::with_capacity(boundaries[boundaries.len() - 1] + 1),
+            segments,
+            recent: boundaries[0],
+            max_depth: boundaries[boundaries.len() - 1],
+            now: 0,
+        }
+    }
+
+    /// Number of unfiltered prefix entries exposed.
+    pub fn recent_len(&self) -> usize {
+        self.recent
+    }
+
+    /// Maximum raw-history depth covered.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Current compressed length: unfiltered prefix + live segment-stack
+    /// entries.
+    pub fn compressed_len(&self) -> usize {
+        self.recent.min(self.unfiltered.len())
+            + self.segments.iter().map(|s| s.rs.len()).sum::<usize>()
+    }
+
+    /// Upper bound on the compressed length (Table I's "RS 142 entries"
+    /// class of figure).
+    pub fn compressed_capacity(&self) -> usize {
+        self.recent + self.segments.len() * SEGMENT_RS_SIZE.max(1)
+    }
+
+    /// Commits a branch into the raw history and propagates segment
+    /// crossings (§V-B4: "When B reaches a depth of Lm …, if it is
+    /// non-biased, its hashed address is inserted into the RSy …; later
+    /// when B reaches a depth of Ln, it falls out of RSy").
+    pub fn commit(&mut self, key: u16, taken: bool, non_biased: bool) {
+        self.unfiltered.push_front(GhrEntry {
+            key,
+            taken,
+            non_biased,
+        });
+        if self.unfiltered.len() > self.max_depth {
+            self.unfiltered.pop_back();
+        }
+        self.now += 1;
+        for seg in &mut self.segments {
+            // The record previously at depth start-1 is now at depth
+            // start: it crosses into this segment.
+            if let Some(e) = self.unfiltered.get(seg.start) {
+                if e.non_biased {
+                    seg.rs.record(u64::from(e.key), e.taken, self.now);
+                }
+            }
+            // Instances that have travelled the segment's full length
+            // fall out.
+            let seg_len = (seg.end - seg.start) as u64;
+            seg.rs.expire(self.now, seg_len);
+        }
+    }
+
+    /// Collects the BF-GHR into `out` as `(key, outcome)` pairs,
+    /// shallowest first: the unfiltered prefix, then each segment's
+    /// stack in increasing depth.
+    ///
+    /// Within a segment, entries are emitted in a canonical (key-sorted)
+    /// order rather than recency order: two executions of a branch whose
+    /// segment holds the same *set* of tracked branches then hash to the
+    /// same table index even if arrival order differed — the compressed
+    /// analogue of a history register's positional stability.
+    pub fn collect(&self, out: &mut Vec<(u16, bool)>) {
+        out.clear();
+        for e in self.unfiltered.iter().take(self.recent) {
+            out.push((e.key, e.taken));
+        }
+        let mut scratch: Vec<(u16, bool)> = Vec::with_capacity(8);
+        for seg in &self.segments {
+            scratch.clear();
+            scratch.extend(seg.rs.iter().map(|e| (e.key as u16, e.outcome)));
+            scratch.sort_unstable_by_key(|&(k, _)| k);
+            out.extend_from_slice(&scratch);
+        }
+    }
+
+    /// Collects the BF-GHR as pre-mixed per-entry hash words, shallowest
+    /// first, for table index computation.
+    ///
+    /// Entries in the unfiltered prefix are salted with their exact
+    /// position (a real history register is positional); segment-stack
+    /// entries are salted with their *segment index* only. A table over
+    /// the first `L` words then combines them with XOR — an
+    /// order-insensitive set hash — so the index depends on *which*
+    /// branch outcomes each segment tracks but not on transient
+    /// arrival-order or alignment shifts inside the compressed stream.
+    /// This is the compressed analogue of folded-history stability: a
+    /// recency stack's content is a set, and hashing it as a sequence
+    /// would make every deeper table's index flutter whenever one entry
+    /// enters or leaves an earlier segment.
+    pub fn collect_mixed(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for (pos, e) in self.unfiltered.iter().take(self.recent).enumerate() {
+            let word = (u64::from(e.key) << 20)
+                ^ (u64::from(e.taken) << 17)
+                ^ (pos as u64);
+            out.push(mix64(word));
+        }
+        for (seg_id, seg) in self.segments.iter().enumerate() {
+            for e in seg.rs.iter() {
+                let word = (e.key << 20)
+                    ^ (u64::from(e.outcome) << 17)
+                    ^ ((seg_id as u64 + 1) << 8);
+                out.push(mix64(word));
+            }
+        }
+    }
+
+    /// Storage: the raw unfiltered history (Table I: 14-bit hashed PC +
+    /// direction + bias status per entry) plus the segment stacks at 16
+    /// bits per entry.
+    pub fn storage_bits(&self) -> u64 {
+        self.max_depth as u64 * 16 + (self.segments.len() * SEGMENT_RS_SIZE) as u64 * 16
+    }
+}
+
+impl Default for BfGhr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BfGhr {
+        // Prefix 2; segments [2,4), [4,8).
+        BfGhr::with_segments(&[2, 4, 8], 2)
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let g = BfGhr::new();
+        assert_eq!(g.recent_len(), 16);
+        assert_eq!(g.max_depth(), 2048);
+        assert_eq!(g.compressed_capacity(), 16 + 16 * 8);
+        assert!(g.compressed_capacity() >= 142);
+    }
+
+    #[test]
+    fn recent_prefix_is_unfiltered() {
+        let mut g = tiny();
+        // Biased branches still appear in the recent prefix.
+        g.commit(0xA, true, false);
+        g.commit(0xB, false, false);
+        let mut out = Vec::new();
+        g.collect(&mut out);
+        assert_eq!(out, vec![(0xB, false), (0xA, true)]);
+    }
+
+    #[test]
+    fn non_biased_branch_enters_segment_on_crossing() {
+        let mut g = tiny();
+        g.commit(0x1, true, true); // the tracked branch
+        // Two more commits push it to depth 2 → crosses into segment
+        // [2,4).
+        g.commit(0x2, false, false);
+        g.commit(0x3, false, false);
+        let mut out = Vec::new();
+        g.collect(&mut out);
+        // Prefix: 0x3, 0x2; segment [2,4): 0x1.
+        assert_eq!(out, vec![(0x3, false), (0x2, false), (0x1, true)]);
+    }
+
+    #[test]
+    fn biased_branch_never_enters_segments() {
+        let mut g = tiny();
+        g.commit(0x1, true, false); // biased
+        for k in 0..6 {
+            g.commit(0x10 + k, false, false);
+        }
+        let mut out = Vec::new();
+        g.collect(&mut out);
+        assert_eq!(out.len(), 2, "only the prefix is populated: {out:?}");
+    }
+
+    #[test]
+    fn instance_falls_out_after_segment_length() {
+        let mut g = tiny();
+        g.commit(0x1, true, true);
+        // Depth 2 after two commits (enters [2,4)); falls out of [2,4)
+        // after two more commits (depth 4) and immediately enters [4,8).
+        for k in 0..2 {
+            g.commit(0x20 + k, false, false);
+        }
+        assert_eq!(g.segments[0].rs.len(), 1);
+        for k in 0..2 {
+            g.commit(0x30 + k, false, false);
+        }
+        assert_eq!(g.segments[0].rs.len(), 0, "fell out of first segment");
+        assert_eq!(g.segments[1].rs.len(), 1, "entered second segment");
+        // After 4 more commits (depth 8) it leaves the last segment too.
+        for k in 0..4 {
+            g.commit(0x40 + k, false, false);
+        }
+        assert_eq!(g.segments[1].rs.len(), 0);
+    }
+
+    #[test]
+    fn repeated_occurrences_collapse_to_latest() {
+        let mut g = tiny();
+        // Same key committed twice, 2 commits apart: when the second
+        // instance crosses into the segment, record() refreshes rather
+        // than duplicating.
+        g.commit(0x1, true, true);
+        g.commit(0x9, false, false);
+        g.commit(0x1, false, true); // newer occurrence, opposite outcome
+        g.commit(0x9, false, false);
+        g.commit(0x9, false, false);
+        // Older instance (depth 4) left segment [2,4); newer instance
+        // (depth 2) is inside with the newer outcome.
+        assert_eq!(g.segments[0].rs.len(), 1);
+        let e = g.segments[0].rs.iter().next().unwrap();
+        assert_eq!(e.key, 0x1);
+        assert!(!e.outcome);
+    }
+
+    #[test]
+    fn segment_stack_capacity_is_bounded() {
+        let mut g = tiny(); // segment stacks of 2
+        // Commit many distinct non-biased branches.
+        for k in 0..20u16 {
+            g.commit(0x100 + k, true, true);
+        }
+        for seg in &g.segments {
+            assert!(seg.rs.len() <= 2);
+        }
+        assert!(g.compressed_len() <= g.compressed_capacity());
+    }
+
+    #[test]
+    fn compressed_len_counts_all_parts() {
+        let mut g = tiny();
+        for k in 0..8u16 {
+            g.commit(k, true, true);
+        }
+        let mut out = Vec::new();
+        g.collect(&mut out);
+        assert_eq!(out.len(), g.compressed_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_boundaries_panic() {
+        BfGhr::with_segments(&[16, 8], 4);
+    }
+
+    #[test]
+    fn deep_correlation_stays_within_compressed_reach() {
+        // A non-biased branch buried under 500 biased branches sits in a
+        // deep segment but at a *small* compressed position — the whole
+        // point of the BF-GHR.
+        let mut g = BfGhr::new();
+        g.commit(0x7777, true, true);
+        for k in 0..500u64 {
+            g.commit((0x1000 + k) as u16, true, false);
+        }
+        let mut out = Vec::new();
+        g.collect(&mut out);
+        let pos = out.iter().position(|&(k, _)| k == 0x7777);
+        assert!(pos.is_some(), "tracked branch must still be visible");
+        assert!(
+            pos.unwrap() < 20,
+            "compressed position {pos:?} should be shallow"
+        );
+    }
+}

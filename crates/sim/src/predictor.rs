@@ -1,0 +1,118 @@
+//! The predictor interface, mirroring the CBP-4 simulation contract.
+//!
+//! A conditional-branch predictor sees three events, in commit order:
+//!
+//! 1. [`ConditionalPredictor::predict`] — asked for a direction guess for
+//!    a conditional branch about to be counted;
+//! 2. [`ConditionalPredictor::update`] — told the resolved direction of
+//!    that same branch immediately afterwards (trace-driven simulation
+//!    commits in order, so there is no in-flight window);
+//! 3. [`ConditionalPredictor::track_other`] — notified of non-conditional
+//!    control transfers (calls, returns, jumps) so it can fold them into
+//!    path history, exactly as CBP's `TrackOtherInst` does.
+
+use bfbp_trace::record::BranchRecord;
+
+use crate::storage::StorageBreakdown;
+
+/// A direction predictor for conditional branches.
+///
+/// The simulator guarantees that every `predict(pc)` is immediately
+/// followed by `update(pc, taken, target)` for the same dynamic branch.
+/// Implementations may therefore carry per-prediction scratch state
+/// between the two calls.
+pub trait ConditionalPredictor {
+    /// A short, stable, human-readable name (used in result tables).
+    fn name(&self) -> String;
+
+    /// Predicts the direction of the conditional branch at `pc`:
+    /// `true` = taken.
+    fn predict(&mut self, pc: u64) -> bool;
+
+    /// Informs the predictor of the resolved direction (and taken target)
+    /// of the conditional branch at `pc`, immediately after `predict`.
+    fn update(&mut self, pc: u64, taken: bool, target: u64);
+
+    /// Notifies the predictor of a committed non-conditional control
+    /// transfer. Default: ignored.
+    fn track_other(&mut self, record: &BranchRecord) {
+        let _ = record;
+    }
+
+    /// Reports the hardware storage this configuration requires.
+    fn storage(&self) -> StorageBreakdown;
+}
+
+/// A trivially simple predictor: always predicts the same direction.
+/// Useful as a baseline floor and in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticPredictor {
+    taken: bool,
+}
+
+impl StaticPredictor {
+    /// Creates a predictor that always predicts `taken`.
+    pub fn new(taken: bool) -> Self {
+        Self { taken }
+    }
+
+    /// Always-taken predictor.
+    pub fn always_taken() -> Self {
+        Self::new(true)
+    }
+
+    /// Always-not-taken predictor.
+    pub fn always_not_taken() -> Self {
+        Self::new(false)
+    }
+}
+
+impl ConditionalPredictor for StaticPredictor {
+    fn name(&self) -> String {
+        if self.taken {
+            "static-taken".to_owned()
+        } else {
+            "static-not-taken".to_owned()
+        }
+    }
+
+    fn predict(&mut self, _pc: u64) -> bool {
+        self.taken
+    }
+
+    fn update(&mut self, _pc: u64, _taken: bool, _target: u64) {}
+
+    fn storage(&self) -> StorageBreakdown {
+        StorageBreakdown::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_predictor_is_constant() {
+        let mut p = StaticPredictor::always_taken();
+        assert!(p.predict(0x10));
+        p.update(0x10, false, 0x20);
+        assert!(p.predict(0x10));
+        assert_eq!(p.name(), "static-taken");
+
+        let mut n = StaticPredictor::always_not_taken();
+        assert!(!n.predict(0x10));
+        assert_eq!(n.name(), "static-not-taken");
+    }
+
+    #[test]
+    fn static_predictor_has_no_storage() {
+        assert_eq!(StaticPredictor::always_taken().storage().total_bits(), 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn ConditionalPredictor> =
+            Box::new(StaticPredictor::always_taken());
+        assert!(boxed.predict(0));
+    }
+}

@@ -1,0 +1,140 @@
+//! Suite runner: generate the 40-trace suite once, then run many
+//! predictor configurations over it.
+//!
+//! Trace generation is cheap relative to prediction but not free; every
+//! figure harness compares several predictors on the same traces, so the
+//! runner materializes each trace a single time.
+
+use bfbp_trace::record::Trace;
+use bfbp_trace::synth::suite::{self, TraceSpec};
+
+use crate::predictor::ConditionalPredictor;
+use crate::simulate::{simulate, SimResult};
+
+/// Holds the generated benchmark traces and runs predictors over them.
+#[derive(Debug)]
+pub struct SuiteRunner {
+    specs: Vec<TraceSpec>,
+    traces: Vec<Trace>,
+}
+
+impl SuiteRunner {
+    /// Generates the full 40-trace suite, scaling every trace's default
+    /// length by `scale` (e.g. `0.1` for a fast smoke run). A minimum of
+    /// 1000 records per trace is enforced.
+    pub fn generate(scale: f64) -> Self {
+        Self::from_specs(suite::suite(), scale)
+    }
+
+    /// Generates traces for an explicit set of specs.
+    pub fn from_specs(specs: Vec<TraceSpec>, scale: f64) -> Self {
+        let traces = specs
+            .iter()
+            .map(|spec| {
+                let len = ((spec.default_len() as f64 * scale) as usize).max(1000);
+                spec.generate_len(len)
+            })
+            .collect();
+        Self { specs, traces }
+    }
+
+    /// The specs in suite order.
+    pub fn specs(&self) -> &[TraceSpec] {
+        &self.specs
+    }
+
+    /// The generated traces, parallel to [`SuiteRunner::specs`].
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Runs a fresh predictor (built by `factory`) over every trace,
+    /// returning per-trace results in suite order.
+    pub fn run<F>(&self, mut factory: F) -> Vec<SimResult>
+    where
+        F: FnMut(&TraceSpec) -> Box<dyn ConditionalPredictor>,
+    {
+        self.specs
+            .iter()
+            .zip(&self.traces)
+            .map(|(spec, trace)| {
+                let mut predictor = factory(spec);
+                simulate(predictor.as_mut(), trace)
+            })
+            .collect()
+    }
+
+    /// Runs a predictor over a single named trace; returns `None` if the
+    /// name is not in the suite.
+    pub fn run_one<P: ConditionalPredictor>(
+        &self,
+        name: &str,
+        predictor: &mut P,
+    ) -> Option<SimResult> {
+        let idx = self.specs.iter().position(|s| s.name() == name)?;
+        Some(simulate(predictor, &self.traces[idx]))
+    }
+}
+
+/// Reads the `BFBP_TRACE_SCALE` environment variable as a scale factor
+/// for suite generation; defaults to `default` when unset or malformed.
+/// Figure harnesses use this so a quick smoke run (`BFBP_TRACE_SCALE=0.05`)
+/// needs no code change.
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("BFBP_TRACE_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::StaticPredictor;
+
+    #[test]
+    fn generates_all_forty_traces() {
+        let runner = SuiteRunner::generate(0.01);
+        assert_eq!(runner.traces().len(), 40);
+        assert_eq!(runner.specs().len(), 40);
+        // Scale 0.01 of 300k = 3000 records for long traces.
+        assert_eq!(runner.traces()[0].len(), 3000);
+        assert_eq!(runner.traces()[20].len(), 1000);
+    }
+
+    #[test]
+    fn minimum_length_is_enforced() {
+        let runner = SuiteRunner::from_specs(vec![suite::find("FP1").unwrap()], 1e-9);
+        assert_eq!(runner.traces()[0].len(), 1000);
+    }
+
+    #[test]
+    fn run_produces_one_result_per_trace() {
+        let specs = vec![
+            suite::find("SPEC00").unwrap(),
+            suite::find("MM2").unwrap(),
+        ];
+        let runner = SuiteRunner::from_specs(specs, 0.01);
+        let results = runner.run(|_| Box::new(StaticPredictor::always_taken()));
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].trace_name(), "SPEC00");
+        assert_eq!(results[1].trace_name(), "MM2");
+        assert!(results.iter().all(|r| r.conditional_branches() > 0));
+    }
+
+    #[test]
+    fn run_one_finds_named_trace() {
+        let runner = SuiteRunner::from_specs(vec![suite::find("INT3").unwrap()], 0.01);
+        let mut p = StaticPredictor::always_taken();
+        assert!(runner.run_one("INT3", &mut p).is_some());
+        assert!(runner.run_one("INT4", &mut p).is_none());
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        // Not set in the test environment.
+        std::env::remove_var("BFBP_TRACE_SCALE");
+        assert_eq!(env_scale(0.5), 0.5);
+    }
+}

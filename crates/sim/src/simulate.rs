@@ -1,0 +1,267 @@
+//! The trace-driven simulation loop and its result type.
+
+use std::fmt;
+
+use bfbp_trace::record::{BranchRecord, Trace};
+
+use crate::predictor::ConditionalPredictor;
+
+/// The outcome of running one predictor over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    trace_name: String,
+    predictor_name: String,
+    conditional_branches: u64,
+    mispredictions: u64,
+    instructions: u64,
+}
+
+impl SimResult {
+    /// Creates a result from raw counts (primarily for tests; use
+    /// [`simulate`] to produce real results).
+    pub fn from_counts(
+        trace_name: impl Into<String>,
+        predictor_name: impl Into<String>,
+        conditional_branches: u64,
+        mispredictions: u64,
+        instructions: u64,
+    ) -> Self {
+        Self {
+            trace_name: trace_name.into(),
+            predictor_name: predictor_name.into(),
+            conditional_branches,
+            mispredictions,
+            instructions,
+        }
+    }
+
+    /// Name of the simulated trace.
+    pub fn trace_name(&self) -> &str {
+        &self.trace_name
+    }
+
+    /// Name of the predictor configuration.
+    pub fn predictor_name(&self) -> &str {
+        &self.predictor_name
+    }
+
+    /// Number of predicted conditional branches.
+    pub fn conditional_branches(&self) -> u64 {
+        self.conditional_branches
+    }
+
+    /// Number of mispredicted conditional branches.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Total committed instructions.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Mispredictions per 1000 instructions — the paper's headline metric.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        1000.0 * self.mispredictions as f64 / self.instructions as f64
+    }
+
+    /// Fraction of conditional branches predicted correctly, in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            return 1.0;
+        }
+        1.0 - self.mispredictions as f64 / self.conditional_branches as f64
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {}: {:.3} MPKI ({:.2}% accuracy, {}/{} mispredicted)",
+            self.predictor_name,
+            self.trace_name,
+            self.mpki(),
+            100.0 * self.accuracy(),
+            self.mispredictions,
+            self.conditional_branches
+        )
+    }
+}
+
+/// Runs `predictor` over every record of `trace`, in commit order.
+///
+/// Conditional records are predicted and then immediately used for
+/// training; other records are passed to
+/// [`ConditionalPredictor::track_other`].
+pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    let mut conditional_branches = 0u64;
+    let mut mispredictions = 0u64;
+    let mut instructions = 0u64;
+    for record in trace {
+        instructions += record.instructions();
+        if record.kind.is_conditional() {
+            conditional_branches += 1;
+            let guess = predictor.predict(record.pc);
+            if guess != record.taken {
+                mispredictions += 1;
+            }
+            predictor.update(record.pc, record.taken, record.target);
+        } else {
+            predictor.track_other(record);
+        }
+    }
+    SimResult {
+        trace_name: trace.name().to_owned(),
+        predictor_name: predictor.name(),
+        conditional_branches,
+        mispredictions,
+        instructions,
+    }
+}
+
+/// Runs `predictor` over a stream of records without collecting a trace
+/// first; useful for direct-from-disk simulation via
+/// [`bfbp_trace::TraceReader`].
+pub fn simulate_stream<P, I>(
+    predictor: &mut P,
+    trace_name: &str,
+    records: I,
+) -> SimResult
+where
+    P: ConditionalPredictor + ?Sized,
+    I: IntoIterator<Item = BranchRecord>,
+{
+    let mut conditional_branches = 0u64;
+    let mut mispredictions = 0u64;
+    let mut instructions = 0u64;
+    for record in records {
+        instructions += record.instructions();
+        if record.kind.is_conditional() {
+            conditional_branches += 1;
+            let guess = predictor.predict(record.pc);
+            if guess != record.taken {
+                mispredictions += 1;
+            }
+            predictor.update(record.pc, record.taken, record.target);
+        } else {
+            predictor.track_other(&record);
+        }
+    }
+    SimResult {
+        trace_name: trace_name.to_owned(),
+        predictor_name: predictor.name(),
+        conditional_branches,
+        mispredictions,
+        instructions,
+    }
+}
+
+/// Arithmetic-mean MPKI over a set of results — the aggregate the paper
+/// reports ("average (arithmetic mean) MPKI").
+///
+/// Returns 0 for an empty slice.
+pub fn mean_mpki(results: &[SimResult]) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(SimResult::mpki).sum::<f64>() / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::StaticPredictor;
+    use bfbp_trace::record::{BranchKind, BranchRecord};
+
+    fn trace_tnt() -> Trace {
+        Trace::new(
+            "tnt",
+            vec![
+                BranchRecord::cond(0x10, 0x20, true, 4),   // 5 insts
+                BranchRecord::cond(0x10, 0x20, false, 4),  // 5 insts
+                BranchRecord::uncond(0x30, 0x40, BranchKind::Call, 9), // 10 insts
+                BranchRecord::cond(0x10, 0x20, true, 4),   // 5 insts
+            ],
+        )
+    }
+
+    #[test]
+    fn static_taken_counts_mispredictions() {
+        let mut p = StaticPredictor::always_taken();
+        let result = simulate(&mut p, &trace_tnt());
+        assert_eq!(result.conditional_branches(), 3);
+        assert_eq!(result.mispredictions(), 1);
+        assert_eq!(result.instructions(), 25);
+        assert!((result.mpki() - 40.0).abs() < 1e-9);
+        assert!((result.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_not_taken_mirror() {
+        let mut p = StaticPredictor::always_not_taken();
+        let result = simulate(&mut p, &trace_tnt());
+        assert_eq!(result.mispredictions(), 2);
+    }
+
+    #[test]
+    fn stream_and_trace_agree() {
+        let trace = trace_tnt();
+        let mut p1 = StaticPredictor::always_taken();
+        let mut p2 = StaticPredictor::always_taken();
+        let a = simulate(&mut p1, &trace);
+        let b = simulate_stream(&mut p2, "tnt", trace.records().iter().copied());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_result() {
+        let mut p = StaticPredictor::always_taken();
+        let result = simulate(&mut p, &Trace::new("empty", vec![]));
+        assert_eq!(result.mpki(), 0.0);
+        assert_eq!(result.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn mean_mpki_averages() {
+        let a = SimResult::from_counts("a", "p", 100, 10, 1000); // 10 MPKI
+        let b = SimResult::from_counts("b", "p", 100, 30, 1000); // 30 MPKI
+        assert!((mean_mpki(&[a, b]) - 20.0).abs() < 1e-9);
+        assert_eq!(mean_mpki(&[]), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_names() {
+        let r = SimResult::from_counts("tr", "pred", 10, 1, 100);
+        let s = format!("{r}");
+        assert!(s.contains("tr") && s.contains("pred"));
+    }
+
+    #[test]
+    fn tracking_receives_non_conditionals() {
+        struct Counter {
+            tracked: usize,
+        }
+        impl ConditionalPredictor for Counter {
+            fn name(&self) -> String {
+                "counter".into()
+            }
+            fn predict(&mut self, _: u64) -> bool {
+                true
+            }
+            fn update(&mut self, _: u64, _: bool, _: u64) {}
+            fn track_other(&mut self, _: &BranchRecord) {
+                self.tracked += 1;
+            }
+            fn storage(&self) -> crate::storage::StorageBreakdown {
+                crate::storage::StorageBreakdown::new()
+            }
+        }
+        let mut p = Counter { tracked: 0 };
+        simulate(&mut p, &trace_tnt());
+        assert_eq!(p.tracked, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hardware storage accounting.
+//!
+//! Every predictor reports a [`StorageBreakdown`] — a list of labelled bit
+//! counts for its memory arrays — so the harness can verify that compared
+//! configurations sit in the same budget, and so Table I of the paper can
+//! be regenerated from the actual configuration rather than hand-added
+//! numbers.
+
+use std::fmt;
+
+/// One labelled memory array (or register group) and its size in bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageItem {
+    label: String,
+    bits: u64,
+}
+
+impl StorageItem {
+    /// Creates an item.
+    pub fn new(label: impl Into<String>, bits: u64) -> Self {
+        Self {
+            label: label.into(),
+            bits,
+        }
+    }
+
+    /// The item's label, e.g. `"tagged table T3"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Size in bits.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Size in bytes, rounded up.
+    pub fn bytes(&self) -> u64 {
+        self.bits.div_ceil(8)
+    }
+}
+
+impl fmt::Display for StorageItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} bits ({} bytes)", self.label, self.bits, self.bytes())
+    }
+}
+
+/// A predictor's complete storage inventory.
+///
+/// # Examples
+///
+/// ```
+/// use bfbp_sim::storage::StorageBreakdown;
+///
+/// let mut s = StorageBreakdown::new();
+/// s.push("bimodal table", 16_384 * 2);
+/// s.push("history register", 64);
+/// assert_eq!(s.total_bits(), 32_832);
+/// assert!(s.total_kib() < 64.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageBreakdown {
+    items: Vec<StorageItem>,
+}
+
+impl StorageBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a labelled array.
+    pub fn push(&mut self, label: impl Into<String>, bits: u64) {
+        self.items.push(StorageItem::new(label, bits));
+    }
+
+    /// Merges all items of `other`, prefixing their labels.
+    pub fn push_nested(&mut self, prefix: &str, other: &StorageBreakdown) {
+        for item in &other.items {
+            self.items
+                .push(StorageItem::new(format!("{prefix}/{}", item.label()), item.bits()));
+        }
+    }
+
+    /// The items, in insertion order.
+    pub fn items(&self) -> &[StorageItem] {
+        &self.items
+    }
+
+    /// Total size in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.items.iter().map(StorageItem::bits).sum()
+    }
+
+    /// Total size in bytes (bit total rounded up once).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Total size in KiB as a float.
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8192.0
+    }
+}
+
+impl fmt::Display for StorageBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for item in &self.items {
+            writeln!(f, "{item}")?;
+        }
+        write!(
+            f,
+            "total: {} bits ({} bytes, {:.2} KiB)",
+            self.total_bits(),
+            self.total_bytes(),
+            self.total_kib()
+        )
+    }
+}
+
+impl FromIterator<StorageItem> for StorageBreakdown {
+    fn from_iter<T: IntoIterator<Item = StorageItem>>(iter: T) -> Self {
+        Self {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<StorageItem> for StorageBreakdown {
+    fn extend<T: IntoIterator<Item = StorageItem>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_breakdown_is_zero() {
+        let s = StorageBreakdown::new();
+        assert_eq!(s.total_bits(), 0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.total_kib(), 0.0);
+        assert!(s.items().is_empty());
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut s = StorageBreakdown::new();
+        s.push("a", 10);
+        s.push("b", 7);
+        assert_eq!(s.total_bits(), 17);
+        assert_eq!(s.total_bytes(), 3); // ceil(17/8)
+    }
+
+    #[test]
+    fn item_bytes_round_up() {
+        assert_eq!(StorageItem::new("x", 1).bytes(), 1);
+        assert_eq!(StorageItem::new("x", 8).bytes(), 1);
+        assert_eq!(StorageItem::new("x", 9).bytes(), 2);
+        assert_eq!(StorageItem::new("x", 0).bytes(), 0);
+    }
+
+    #[test]
+    fn nested_prefixes_labels() {
+        let mut inner = StorageBreakdown::new();
+        inner.push("table", 100);
+        let mut outer = StorageBreakdown::new();
+        outer.push_nested("loop", &inner);
+        assert_eq!(outer.items()[0].label(), "loop/table");
+        assert_eq!(outer.total_bits(), 100);
+    }
+
+    #[test]
+    fn kib_matches_bits() {
+        let mut s = StorageBreakdown::new();
+        s.push("a", 8192 * 64);
+        assert!((s.total_kib() - 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let mut s = StorageBreakdown::new();
+        s.push("weights", 4096);
+        let text = format!("{s}");
+        assert!(text.contains("weights"));
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: StorageBreakdown = vec![StorageItem::new("a", 1), StorageItem::new("b", 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.total_bits(), 3);
+        let mut s2 = StorageBreakdown::new();
+        s2.extend(s.items().to_vec());
+        assert_eq!(s2.total_bits(), 3);
+    }
+}

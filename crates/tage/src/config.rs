@@ -1,0 +1,268 @@
+//! TAGE configurations: history-length series and per-table geometries
+//! for 4–15 tagged tables inside a common ~51 KiB tagged-storage budget
+//! (matching the paper's "sized to fit into the storage budget required
+//! in the baseline ISL-TAGE with corresponding number of tables").
+
+use std::error::Error;
+use std::fmt;
+
+/// The conventional ISL-TAGE 15-table history-length series (footnote 2
+/// of the paper). A conventional `n`-table TAGE uses its first `n`
+/// entries, so e.g. 10 tables reach 195 branches and 7 tables 67.
+pub const CONVENTIONAL_LENGTHS_15: [usize; 15] = [
+    3, 8, 12, 17, 33, 35, 67, 97, 138, 195, 330, 517, 1193, 1741, 1930,
+];
+
+/// The BF-TAGE history-length series in *compressed* BF-GHR entries
+/// (§VI-C): "The best set of history lengths found for a 10 tagged table
+/// BF-TAGE in our experiments is {3, 8, 14, 26, 40, 54, 70, 94, 118,
+/// 142}".
+pub const BIAS_FREE_LENGTHS_10: [usize; 10] = [3, 8, 14, 26, 40, 54, 70, 94, 118, 142];
+
+/// Geometry of one tagged table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableGeometry {
+    /// log2 of the entry count.
+    pub log_size: u32,
+    /// Partial tag width in bits.
+    pub tag_bits: u32,
+    /// History length used to index this table (raw branches for
+    /// conventional TAGE, compressed BF-GHR entries for BF-TAGE).
+    pub history_len: usize,
+}
+
+/// A complete TAGE configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TageConfig {
+    /// Base (bimodal) table log2 size.
+    pub base_log_size: u32,
+    /// Tagged table geometries, shortest history first.
+    pub tables: Vec<TableGeometry>,
+    /// Period (in updates) of the alternating usefulness-bit reset.
+    pub u_reset_period: u64,
+    /// Path-history bits mixed into table indices.
+    pub path_bits: u32,
+}
+
+/// Error returned for unsupported table counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedTables(pub usize);
+
+impl fmt::Display for UnsupportedTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported tagged-table count {}", self.0)
+    }
+}
+
+impl Error for UnsupportedTables {}
+
+/// Per-table (log_size, tag_bits) presets keeping every table count near
+/// the same ~51 KiB tagged budget. Indexed by `n_tables`.
+fn geometry_preset(n_tables: usize) -> Option<(Vec<u32>, Vec<u32>)> {
+    let (sizes, tags): (&[u32], &[u32]) = match n_tables {
+        4 => (&[13, 13, 13, 12], &[9, 10, 11, 12]),
+        5 => (&[13, 13, 12, 12, 12], &[9, 10, 11, 12, 13]),
+        6 => (&[13, 12, 12, 12, 12, 11], &[8, 9, 10, 11, 12, 13]),
+        7 => (&[12, 12, 12, 12, 12, 12, 11], &[8, 9, 10, 11, 12, 13, 14]),
+        8 => (
+            &[12, 12, 12, 12, 12, 11, 11, 11],
+            &[8, 8, 9, 10, 11, 12, 13, 14],
+        ),
+        9 => (
+            &[12, 12, 12, 12, 11, 11, 11, 11, 11],
+            &[7, 8, 9, 10, 11, 12, 13, 14, 15],
+        ),
+        // Table I of the paper: Kentries 2,2,2,4,4,4,2,2,1,1 and tag
+        // widths 7,7,8,9,10,11,11,13,14,15.
+        10 => (
+            &[11, 11, 11, 12, 12, 12, 11, 11, 10, 10],
+            &[7, 7, 8, 9, 10, 11, 11, 13, 14, 15],
+        ),
+        11 => (
+            &[11, 11, 11, 12, 12, 12, 11, 11, 10, 10, 10],
+            &[7, 7, 8, 9, 10, 10, 11, 12, 13, 14, 15],
+        ),
+        12 => (
+            &[11, 11, 11, 11, 12, 12, 11, 11, 10, 10, 10, 10],
+            &[7, 7, 8, 8, 9, 10, 11, 12, 13, 13, 14, 15],
+        ),
+        13 => (
+            &[11, 11, 11, 11, 11, 12, 12, 11, 11, 10, 10, 10, 10],
+            &[7, 7, 8, 8, 9, 10, 10, 11, 12, 13, 13, 14, 15],
+        ),
+        14 => (
+            &[11, 11, 11, 11, 12, 12, 11, 11, 11, 10, 10, 10, 10, 10],
+            &[7, 7, 8, 8, 9, 9, 10, 11, 12, 12, 13, 14, 14, 15],
+        ),
+        15 => (
+            &[11, 11, 11, 11, 11, 11, 11, 11, 11, 11, 10, 10, 10, 10, 10],
+            &[7, 7, 8, 8, 9, 10, 10, 11, 12, 12, 13, 13, 14, 15, 15],
+        ),
+        _ => return None,
+    };
+    Some((sizes.to_vec(), tags.to_vec()))
+}
+
+impl TageConfig {
+    /// A conventional ISL-TAGE-style configuration with `n_tables` tagged
+    /// tables (4..=15), indexed with the first `n_tables` entries of
+    /// [`CONVENTIONAL_LENGTHS_15`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedTables`] for table counts outside 4..=15.
+    pub fn conventional(n_tables: usize) -> Result<Self, UnsupportedTables> {
+        let (sizes, tags) = geometry_preset(n_tables).ok_or(UnsupportedTables(n_tables))?;
+        let tables = sizes
+            .into_iter()
+            .zip(tags)
+            .zip(CONVENTIONAL_LENGTHS_15.iter().copied())
+            .map(|((log_size, tag_bits), history_len)| TableGeometry {
+                log_size,
+                tag_bits,
+                history_len,
+            })
+            .collect();
+        Ok(Self {
+            base_log_size: 14,
+            tables,
+            u_reset_period: 1 << 16,
+            path_bits: 16,
+        })
+    }
+
+    /// A BF-TAGE configuration with `n_tables` tagged tables (4..=10),
+    /// indexed with the first `n_tables` entries of
+    /// [`BIAS_FREE_LENGTHS_10`] (compressed BF-GHR entries). Table
+    /// geometries match the conventional configuration of the same table
+    /// count, so budgets are directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedTables`] for table counts outside 4..=10.
+    pub fn bias_free(n_tables: usize) -> Result<Self, UnsupportedTables> {
+        if !(4..=10).contains(&n_tables) {
+            return Err(UnsupportedTables(n_tables));
+        }
+        let (sizes, tags) = geometry_preset(n_tables).ok_or(UnsupportedTables(n_tables))?;
+        let tables = sizes
+            .into_iter()
+            .zip(tags)
+            .zip(BIAS_FREE_LENGTHS_10.iter().copied())
+            .map(|((log_size, tag_bits), history_len)| TableGeometry {
+                log_size,
+                tag_bits,
+                history_len,
+            })
+            .collect();
+        Ok(Self {
+            base_log_size: 14,
+            tables,
+            u_reset_period: 1 << 16,
+            path_bits: 16,
+        })
+    }
+
+    /// Number of tagged tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Longest history length used.
+    pub fn max_history(&self) -> usize {
+        self.tables.iter().map(|t| t.history_len).max().unwrap_or(0)
+    }
+
+    /// Total tagged-table storage in bits (excluding the base predictor).
+    pub fn tagged_bits(&self) -> u64 {
+        self.tables
+            .iter()
+            .map(|t| (1u64 << t.log_size) * (3 + u64::from(t.tag_bits) + 2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_lengths_match_paper_footnote() {
+        let c = TageConfig::conventional(15).unwrap();
+        let lengths: Vec<usize> = c.tables.iter().map(|t| t.history_len).collect();
+        assert_eq!(lengths, CONVENTIONAL_LENGTHS_15.to_vec());
+        assert_eq!(c.max_history(), 1930);
+    }
+
+    #[test]
+    fn conventional_ten_reaches_195() {
+        let c = TageConfig::conventional(10).unwrap();
+        assert_eq!(c.max_history(), 195);
+    }
+
+    #[test]
+    fn seventh_table_uses_about_70_bits_in_both() {
+        // §VI-C: "BF-TAGE and conventional TAGE both index the 7th tagged
+        // table using about 70 history bits."
+        let conv = TageConfig::conventional(7).unwrap();
+        let bf = TageConfig::bias_free(7).unwrap();
+        assert_eq!(conv.tables[6].history_len, 67);
+        assert_eq!(bf.tables[6].history_len, 70);
+    }
+
+    #[test]
+    fn bias_free_lengths_match_paper() {
+        let c = TageConfig::bias_free(10).unwrap();
+        let lengths: Vec<usize> = c.tables.iter().map(|t| t.history_len).collect();
+        assert_eq!(lengths, BIAS_FREE_LENGTHS_10.to_vec());
+    }
+
+    #[test]
+    fn budgets_are_comparable_across_table_counts() {
+        // All presets must land in the same ~51 KiB window so Figure 10's
+        // "same storage" comparison is honest.
+        for n in 4..=15 {
+            let c = TageConfig::conventional(n).unwrap();
+            let kib = c.tagged_bits() as f64 / 8192.0;
+            assert!(
+                (40.0..60.0).contains(&kib),
+                "{n} tables: {kib:.1} KiB tagged storage"
+            );
+        }
+    }
+
+    #[test]
+    fn matched_budget_between_conventional_and_bias_free() {
+        for n in 4..=10 {
+            let conv = TageConfig::conventional(n).unwrap();
+            let bf = TageConfig::bias_free(n).unwrap();
+            assert_eq!(conv.tagged_bits(), bf.tagged_bits(), "{n} tables");
+        }
+    }
+
+    #[test]
+    fn unsupported_counts_error() {
+        assert!(TageConfig::conventional(3).is_err());
+        assert!(TageConfig::conventional(16).is_err());
+        assert!(TageConfig::bias_free(11).is_err());
+        assert!(TageConfig::bias_free(3).is_err());
+        let e = TageConfig::conventional(99).unwrap_err();
+        assert!(format!("{e}").contains("99"));
+    }
+
+    #[test]
+    fn lengths_form_increasing_series() {
+        for n in 4..=15 {
+            let c = TageConfig::conventional(n).unwrap();
+            for w in c.tables.windows(2) {
+                assert!(w[0].history_len < w[1].history_len);
+            }
+        }
+        for n in 4..=10 {
+            let c = TageConfig::bias_free(n).unwrap();
+            for w in c.tables.windows(2) {
+                assert!(w[0].history_len < w[1].history_len);
+            }
+        }
+    }
+}

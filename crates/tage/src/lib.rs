@@ -1,0 +1,38 @@
+//! # bfbp-tage
+//!
+//! TAGE and ISL-TAGE baseline predictors for the Bias-Free Branch
+//! Predictor reproduction:
+//!
+//! * [`table`] — partially tagged prediction tables (the `Ti` of
+//!   Figure 6);
+//! * [`config`] — history-length series and matched-budget geometries
+//!   for 4–15 tagged tables;
+//! * [`tage`] — the shared TAGE engine (provider selection, usefulness,
+//!   allocation) and the conventional raw-history TAGE;
+//! * [`isl`] — the ISL-TAGE composition (loop predictor + statistical
+//!   corrector; the IUM is a documented no-op under trace-driven
+//!   immediate update).
+//!
+//! ```
+//! use bfbp_sim::simulate::simulate;
+//! use bfbp_tage::isl::isl_tage;
+//! use bfbp_trace::synth::suite;
+//!
+//! let trace = suite::find("MM1").expect("suite trace").generate_len(5_000);
+//! let mut predictor = isl_tage(7);
+//! let result = simulate(&mut predictor, &trace);
+//! assert!(result.accuracy() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod isl;
+pub mod table;
+pub mod tage;
+
+pub use config::{TageConfig, BIAS_FREE_LENGTHS_10, CONVENTIONAL_LENGTHS_15};
+pub use isl::{isl_tage, Isl, IslTage, StatisticalCorrector, TageEngine};
+pub use table::{TaggedEntry, TaggedTable};
+pub use tage::{ProviderStats, Tage, TageCore};

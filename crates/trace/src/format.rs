@@ -1,0 +1,532 @@
+//! Binary on-disk trace format with a streaming reader and writer.
+//!
+//! This is the "trace parsing harness" of the reproduction: the CBP
+//! evaluation framework distributes branch traces as compressed binary
+//! streams, and downstream users of this library will want to run the
+//! predictors against their own recorded traces. The format is:
+//!
+//! ```text
+//! magic   b"BFBT"
+//! version u16 little-endian (currently 1)
+//! name    varint length + UTF-8 bytes
+//! records repeated:
+//!     tag  u8: bit7 = taken, bits0..6 = kind discriminant (0x7F = end)
+//!     pc      varint (delta-zigzag from previous pc)
+//!     target  varint (delta-zigzag from pc)
+//!     insts   varint
+//! footer  end tag 0x7F, record count varint, checksum u64 (FNV-1a over
+//!         all record bytes)
+//! ```
+//!
+//! Varints are LEB128. PC/target deltas keep typical records at 4–6 bytes.
+//!
+//! # Examples
+//!
+//! ```
+//! use bfbp_trace::format::{read_trace, write_trace};
+//! use bfbp_trace::record::{BranchRecord, Trace};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let trace = Trace::new("t", vec![BranchRecord::cond(0x40, 0x80, true, 3)]);
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, &trace)?;
+//! let back = read_trace(&buf[..])?;
+//! assert_eq!(back, trace);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::record::{BranchKind, BranchRecord, Trace};
+
+/// Magic bytes identifying a trace file.
+pub const MAGIC: [u8; 4] = *b"BFBT";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+const END_TAG: u8 = 0x7F;
+
+/// Errors produced while reading or writing a trace file.
+#[derive(Debug)]
+pub enum TraceFormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The stream's version is not supported.
+    UnsupportedVersion(u16),
+    /// A record carried an invalid branch-kind discriminant.
+    BadKind(u8),
+    /// A varint ran past its maximum width.
+    MalformedVarint,
+    /// The trace name was not valid UTF-8.
+    BadName,
+    /// The footer checksum did not match the records read.
+    ChecksumMismatch {
+        /// Checksum recorded in the file footer.
+        expected: u64,
+        /// Checksum computed over the records actually read.
+        actual: u64,
+    },
+    /// The footer record count did not match the records read.
+    CountMismatch {
+        /// Count recorded in the file footer.
+        expected: u64,
+        /// Number of records actually read.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for TraceFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFormatError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFormatError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            TraceFormatError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceFormatError::BadKind(k) => write!(f, "invalid branch kind {k}"),
+            TraceFormatError::MalformedVarint => write!(f, "malformed varint"),
+            TraceFormatError::BadName => write!(f, "trace name is not valid utf-8"),
+            TraceFormatError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: footer {expected:#x}, computed {actual:#x}"
+            ),
+            TraceFormatError::CountMismatch { expected, actual } => {
+                write!(f, "record count mismatch: footer {expected}, read {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TraceFormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceFormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFormatError {
+    fn from(e: io::Error) -> Self {
+        TraceFormatError::Io(e)
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut value: u64, hash: &mut Fnv) -> io::Result<()> {
+    loop {
+        let mut byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value != 0 {
+            byte |= 0x80;
+        }
+        hash.update(&[byte]);
+        w.write_all(&[byte])?;
+        if value == 0 {
+            return Ok(());
+        }
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R, hash: &mut Fnv) -> Result<u64, TraceFormatError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        hash.update(&byte);
+        if shift >= 64 {
+            return Err(TraceFormatError::MalformedVarint);
+        }
+        value |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Running FNV-1a hash, used as the stream checksum.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming trace writer.
+///
+/// Call [`TraceWriter::write`] for each record, then [`TraceWriter::finish`]
+/// to emit the footer. Dropping without `finish` produces a truncated file
+/// that the reader will reject.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    hash: Fnv,
+    count: u64,
+    prev_pc: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if writing the header fails.
+    pub fn new(mut inner: W, name: &str) -> Result<Self, TraceFormatError> {
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&VERSION.to_le_bytes())?;
+        let mut scratch = Fnv::new();
+        write_varint(&mut inner, name.len() as u64, &mut scratch)?;
+        inner.write_all(name.as_bytes())?;
+        Ok(Self {
+            inner,
+            hash: Fnv::new(),
+            count: 0,
+            prev_pc: 0,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying writer fails.
+    pub fn write(&mut self, record: &BranchRecord) -> Result<(), TraceFormatError> {
+        let tag = (record.kind as u8) | if record.taken { 0x80 } else { 0 };
+        self.hash.update(&[tag]);
+        self.inner.write_all(&[tag])?;
+        // Wrapping deltas: bijective for the full u64 range (a plain
+        // signed subtraction overflows for pcs more than i64::MAX apart).
+        write_varint(
+            &mut self.inner,
+            zigzag(record.pc.wrapping_sub(self.prev_pc) as i64),
+            &mut self.hash,
+        )?;
+        write_varint(
+            &mut self.inner,
+            zigzag(record.target.wrapping_sub(record.pc) as i64),
+            &mut self.hash,
+        )?;
+        write_varint(&mut self.inner, u64::from(record.non_branch_insts), &mut self.hash)?;
+        self.prev_pc = record.pc;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Writes the footer and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the underlying writer fails.
+    pub fn finish(mut self) -> Result<W, TraceFormatError> {
+        self.inner.write_all(&[END_TAG])?;
+        let mut scratch = Fnv::new();
+        write_varint(&mut self.inner, self.count, &mut scratch)?;
+        self.inner.write_all(&self.hash.finish().to_le_bytes())?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming trace reader; an [`Iterator`] over records.
+///
+/// The footer (count + checksum) is validated when the end tag is reached;
+/// validation failures surface as the iterator's final `Some(Err(..))`.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    inner: R,
+    name: String,
+    hash: Fnv,
+    count: u64,
+    prev_pc: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Creates a reader, consuming and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, bad magic, unsupported version, or
+    /// a malformed name.
+    pub fn new(mut inner: R) -> Result<Self, TraceFormatError> {
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceFormatError::BadMagic(magic));
+        }
+        let mut ver = [0u8; 2];
+        inner.read_exact(&mut ver)?;
+        let version = u16::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceFormatError::UnsupportedVersion(version));
+        }
+        let mut scratch = Fnv::new();
+        let name_len = read_varint(&mut inner, &mut scratch)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        inner.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| TraceFormatError::BadName)?;
+        Ok(Self {
+            inner,
+            name,
+            hash: Fnv::new(),
+            count: 0,
+            prev_pc: 0,
+            done: false,
+        })
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceFormatError> {
+        let mut tag = [0u8; 1];
+        self.inner.read_exact(&mut tag)?;
+        if tag[0] == END_TAG {
+            let mut scratch = Fnv::new();
+            let expected_count = read_varint(&mut self.inner, &mut scratch)?;
+            let mut sum = [0u8; 8];
+            self.inner.read_exact(&mut sum)?;
+            let expected = u64::from_le_bytes(sum);
+            let actual = self.hash.finish();
+            if expected_count != self.count {
+                return Err(TraceFormatError::CountMismatch {
+                    expected: expected_count,
+                    actual: self.count,
+                });
+            }
+            if expected != actual {
+                return Err(TraceFormatError::ChecksumMismatch { expected, actual });
+            }
+            return Ok(None);
+        }
+        self.hash.update(&tag);
+        let taken = tag[0] & 0x80 != 0;
+        let kind =
+            BranchKind::from_u8(tag[0] & 0x7F).ok_or(TraceFormatError::BadKind(tag[0] & 0x7F))?;
+        let pc = self
+            .prev_pc
+            .wrapping_add(unzigzag(read_varint(&mut self.inner, &mut self.hash)?) as u64);
+        let target =
+            pc.wrapping_add(unzigzag(read_varint(&mut self.inner, &mut self.hash)?) as u64);
+        let insts = read_varint(&mut self.inner, &mut self.hash)? as u32;
+        self.prev_pc = pc;
+        self.count += 1;
+        Ok(Some(BranchRecord {
+            pc,
+            target,
+            kind,
+            taken,
+            non_branch_insts: insts,
+        }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<BranchRecord, TraceFormatError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Writes an entire in-memory trace to `writer`.
+///
+/// The `writer` can be any [`Write`] implementation; pass `&mut file` to
+/// keep ownership of a file.
+///
+/// # Errors
+///
+/// Returns an error if the underlying writer fails.
+pub fn write_trace<W: Write>(writer: W, trace: &Trace) -> Result<(), TraceFormatError> {
+    let mut tw = TraceWriter::new(writer, trace.name())?;
+    for record in trace {
+        tw.write(record)?;
+    }
+    tw.finish()?;
+    Ok(())
+}
+
+/// Reads an entire trace from `reader` into memory.
+///
+/// The `reader` can be any [`Read`] implementation; pass `&mut file` to
+/// keep ownership of a file.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or any format violation, including
+/// checksum or record-count mismatches.
+pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceFormatError> {
+    let mut tr = TraceReader::new(reader)?;
+    let name = tr.name().to_owned();
+    let mut records = Vec::new();
+    for record in &mut tr {
+        records.push(record?);
+    }
+    Ok(Trace::new(name, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            "sample",
+            vec![
+                BranchRecord::cond(0x400_000, 0x400_040, true, 5),
+                BranchRecord::cond(0x400_040, 0x400_000, false, 2),
+                BranchRecord::uncond(0x400_100, 0x500_000, BranchKind::Call, 9),
+                BranchRecord::uncond(0x500_010, 0x400_104, BranchKind::Return, 1),
+                BranchRecord::cond(0x400_108, 0x400_000, true, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn roundtrip_empty_trace() {
+        let trace = Trace::new("empty", Vec::new());
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.name(), "empty");
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOPE\x01\x00".to_vec();
+        match read_trace(&buf[..]) {
+            Err(TraceFormatError::BadMagic(m)) => assert_eq!(&m, b"NOPE"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_trace(&buf[..]),
+            Err(TraceFormatError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupted_body_fails_checksum() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        // Flip a taken bit inside the body (first record tag after header).
+        let header_len = 4 + 2 + 1 + "sample".len();
+        buf[header_len] ^= 0x80;
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(
+            matches!(err, TraceFormatError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(matches!(
+            read_trace(&buf[..]),
+            Err(TraceFormatError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn reader_exposes_name_and_streams() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample_trace()).unwrap();
+        let mut reader = TraceReader::new(&buf[..]).unwrap();
+        assert_eq!(reader.name(), "sample");
+        let n = (&mut reader).map(|r| r.unwrap()).count();
+        assert_eq!(n, 5);
+        // Exhausted reader keeps returning None.
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errors: Vec<TraceFormatError> = vec![
+            TraceFormatError::BadMagic(*b"ABCD"),
+            TraceFormatError::UnsupportedVersion(9),
+            TraceFormatError::BadKind(77),
+            TraceFormatError::MalformedVarint,
+            TraceFormatError::BadName,
+            TraceFormatError::ChecksumMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            TraceFormatError::CountMismatch {
+                expected: 3,
+                actual: 4,
+            },
+        ];
+        for e in errors {
+            assert!(!format!("{e}").is_empty());
+            assert!(!format!("{e:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Synthetic workload generation.
+//!
+//! Builds deterministic branch traces whose statistical structure mirrors
+//! the CBP-4 benchmark set the paper evaluates on. See the module docs of
+//! [`behavior`], [`builder`] and [`suite`] for the mapping from paper
+//! mechanisms to workload knobs.
+
+pub mod behavior;
+pub mod builder;
+pub mod program;
+pub mod suite;

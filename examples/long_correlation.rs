@@ -1,0 +1,55 @@
+//! The paper's motivating scenario, built by hand: a branch whose only
+//! predictor of its direction executed ~600 branches earlier, with
+//! nothing but completely biased branches in between (Figure 1's control
+//! flow, stretched).
+//!
+//! A conventional perceptron with a 72-deep unfiltered history cannot
+//! see the correlated branch; the Bias-Free predictor filters the biased
+//! filler out of its history, so the source lands within a 48-entry
+//! recency stack.
+//!
+//! ```sh
+//! cargo run --release --example long_correlation
+//! ```
+
+use bfbp::core::bf_neural::BfNeural;
+use bfbp::predictors::piecewise::PiecewiseLinear;
+use bfbp::sim::simulate::simulate;
+use bfbp::trace::synth::builder::{Filler, ProgramBuilder};
+
+fn main() {
+    // One deep-correlation block: a slowly-varying source branch, 600
+    // dynamic branches of completely biased filler, then 6 consumer
+    // branches whose outcomes equal the source's.
+    let mut builder = ProgramBuilder::new(2014);
+    builder.add_deep_block(
+        600,
+        Filler::DistinctBiased,
+        6,    // consumers
+        0.01, // noise
+        650,  // deterministic warm-up
+        210,  // gap between consumers
+        1,
+    );
+    let program = builder.build();
+    let trace = program.emit("long-correlation", 200_000, 7);
+
+    println!(
+        "workload: source branch, 600 biased branches, then correlated consumers\n"
+    );
+
+    let mut conventional = PiecewiseLinear::conventional_64kb();
+    let conv = simulate(&mut conventional, &trace);
+    println!("conventional perceptron (72-deep unfiltered history):\n  {conv}");
+
+    let mut bias_free = BfNeural::budget_64kb();
+    let bf = simulate(&mut bias_free, &trace);
+    println!("bias-free neural (48-entry recency stack):\n  {bf}");
+
+    let gain = 100.0 * (conv.mpki() - bf.mpki()) / conv.mpki().max(1e-9);
+    println!("\nBF-Neural reduces MPKI by {gain:.1}% on this workload.");
+    println!(
+        "The filtered history reaches the source at recency-stack depth ~2;\n\
+         unfiltered history would need ~600 bits to reach it."
+    );
+}

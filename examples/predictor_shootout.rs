@@ -1,0 +1,65 @@
+//! Shoot-out: every predictor in the library on a sample of suite
+//! traces, with per-predictor storage budgets — a fast way to see the
+//! whole landscape the paper's Figure 8 summarizes.
+//!
+//! ```sh
+//! cargo run --release --example predictor_shootout
+//! ```
+
+use bfbp::core::bf_neural::BfNeural;
+use bfbp::core::bf_tage::bf_isl_tage;
+use bfbp::predictors::bimodal::Bimodal;
+use bfbp::predictors::gshare::Gshare;
+use bfbp::predictors::perceptron::Perceptron;
+use bfbp::predictors::piecewise::PiecewiseLinear;
+use bfbp::predictors::snap::ScaledNeural;
+use bfbp::sim::predictor::ConditionalPredictor;
+use bfbp::sim::simulate::simulate;
+use bfbp::tage::isl::isl_tage;
+use bfbp::trace::synth::suite;
+
+fn main() {
+    let trace_names = ["SPEC03", "SPEC07", "INT2", "MM1", "SERV3"];
+    let traces: Vec<_> = trace_names
+        .iter()
+        .map(|n| {
+            suite::find(n)
+                .expect("trace in suite")
+                .generate_len(60_000)
+        })
+        .collect();
+
+    type Factory = fn() -> Box<dyn ConditionalPredictor>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("bimodal", || Box::new(Bimodal::default_64kb_base())),
+        ("gshare", || Box::new(Gshare::budget_64kb())),
+        ("perceptron", || Box::new(Perceptron::budget_64kb())),
+        ("piecewise", || {
+            Box::new(PiecewiseLinear::conventional_64kb())
+        }),
+        ("oh-snap", || Box::new(ScaledNeural::budget_64kb())),
+        ("isl-tage-15", || Box::new(isl_tage(15))),
+        ("bf-neural", || Box::new(BfNeural::budget_64kb())),
+        ("bf-isl-tage-10", || Box::new(bf_isl_tage(10))),
+    ];
+
+    print!("{:<16}{:>10}", "predictor", "KiB");
+    for name in trace_names {
+        print!("{name:>10}");
+    }
+    println!("{:>10}", "mean");
+
+    for (name, make) in factories {
+        let kib = make().storage().total_kib();
+        print!("{name:<16}{kib:>10.1}");
+        let mut sum = 0.0;
+        for trace in &traces {
+            let mut p = make();
+            let r = simulate(p.as_mut(), trace);
+            print!("{:>10.3}", r.mpki());
+            sum += r.mpki();
+        }
+        println!("{:>10.3}", sum / traces.len() as f64);
+    }
+    println!("\n(MPKI per trace; lower is better. Traces are 60k-branch scaled versions.)");
+}

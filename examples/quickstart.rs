@@ -1,0 +1,43 @@
+//! Quickstart: generate a benchmark trace, run the Bias-Free Neural
+//! predictor and a TAGE baseline on it, and print MPKI.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bfbp::core::bf_neural::BfNeural;
+use bfbp::sim::predictor::ConditionalPredictor;
+use bfbp::sim::simulate::simulate;
+use bfbp::tage::isl::isl_tage;
+use bfbp::trace::synth::suite;
+
+fn main() {
+    // Pick a long-history-sensitive trace from the suite (a synthetic
+    // stand-in for the CBP-4 SPEC2006 traces; see DESIGN.md).
+    let spec = suite::find("SPEC03").expect("SPEC03 is part of the 40-trace suite");
+    let trace = spec.generate_len(100_000);
+    println!(
+        "trace {}: {} branch records, {} conditional",
+        trace.name(),
+        trace.len(),
+        trace.conditional_count()
+    );
+
+    // The paper's 64 KB BF-Neural configuration: BST + bias-free
+    // recency-stack history + loop predictor.
+    let mut bf_neural = BfNeural::budget_64kb();
+    let bf_result = simulate(&mut bf_neural, &trace);
+    println!("{bf_result}");
+
+    // The strongest baseline: ISL-TAGE with 15 tagged tables.
+    let mut tage = isl_tage(15);
+    let tage_result = simulate(&mut tage, &trace);
+    println!("{tage_result}");
+
+    // And how much hardware each needs:
+    println!(
+        "\nBF-Neural storage: {:.1} KiB   ISL-TAGE-15 storage: {:.1} KiB",
+        bf_neural.storage().total_kib(),
+        tage.storage().total_kib()
+    );
+}

@@ -1,0 +1,33 @@
+//! # bfbp — Bias-Free Branch Predictor reproduction
+//!
+//! Facade crate re-exporting the full workspace: a from-scratch Rust
+//! reproduction of Gope & Lipasti, *"Bias-Free Branch Predictor"*,
+//! MICRO-47 (2014).
+//!
+//! * [`trace`] — branch records, trace format, statistics, synthetic
+//!   CBP-style workload suite;
+//! * [`sim`] — the simulation driver, MPKI metrics, storage accounting;
+//! * [`predictors`] — baselines: bimodal, gshare, perceptron,
+//!   piecewise-linear, OH-SNAP-style scaled neural, loop predictor;
+//! * [`tage`] — TAGE / ISL-TAGE baselines;
+//! * [`core`] — the paper's contribution: BST, recency stack, BF-Neural,
+//!   BF-GHR, BF-TAGE.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bfbp::core::bf_neural::BfNeural;
+//! use bfbp::sim::simulate::simulate;
+//! use bfbp::trace::synth::suite;
+//!
+//! let trace = suite::find("SPEC03").expect("in suite").generate_len(10_000);
+//! let mut bf = BfNeural::budget_64kb();
+//! let result = simulate(&mut bf, &trace);
+//! println!("{result}");
+//! ```
+
+pub use bfbp_core as core;
+pub use bfbp_predictors as predictors;
+pub use bfbp_sim as sim;
+pub use bfbp_tage as tage;
+pub use bfbp_trace as trace;

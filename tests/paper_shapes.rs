@@ -1,0 +1,135 @@
+//! Shape tests for the paper's headline claims, run at a reduced trace
+//! scale. These assert *orderings and directions* — who wins, roughly
+//! where — not absolute MPKI values (see EXPERIMENTS.md for the
+//! full-scale numbers).
+
+use bfbp::core::bf_neural::{BfNeural, BfNeuralConfig};
+use bfbp::predictors::piecewise::PiecewiseLinear;
+use bfbp::predictors::snap::ScaledNeural;
+use bfbp::sim::runner::SuiteRunner;
+use bfbp::sim::simulate::mean_mpki;
+use bfbp::tage::isl::isl_tage;
+use bfbp_bench::experiments;
+
+/// A scale that keeps the whole file under ~2 minutes on one core while
+/// still letting predictors warm up.
+const SCALE: f64 = 0.2;
+
+#[test]
+fn bf_neural_beats_the_neural_baselines() {
+    // Figure 8's neural story: BF-Neural < OH-SNAP; both < nothing. The
+    // conventional piecewise-linear (Figure 9 bar 1) is worst.
+    let runner = SuiteRunner::generate(SCALE);
+    let pwl = mean_mpki(&runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb())));
+    let snap = mean_mpki(&runner.run(|_| Box::new(ScaledNeural::budget_64kb())));
+    let bf = mean_mpki(&runner.run(|_| Box::new(BfNeural::budget_64kb())));
+    assert!(
+        bf < snap,
+        "BF-Neural ({bf:.3}) must beat OH-SNAP ({snap:.3})"
+    );
+    assert!(
+        bf < pwl,
+        "BF-Neural ({bf:.3}) must beat the conventional perceptron ({pwl:.3})"
+    );
+}
+
+#[test]
+fn bf_neural_is_comparable_to_tage() {
+    // Figure 8: "provides accuracies comparable to that of TAGE"
+    // (within ±15% at reduced scale).
+    let runner = SuiteRunner::generate(SCALE);
+    let tage = mean_mpki(&runner.run(|_| Box::new(isl_tage(15))));
+    let bf = mean_mpki(&runner.run(|_| Box::new(BfNeural::budget_64kb())));
+    let ratio = bf / tage;
+    assert!(
+        (0.7..1.15).contains(&ratio),
+        "BF-Neural {bf:.3} vs TAGE {tage:.3} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn ablation_bias_filtering_helps() {
+    // Figure 9's first two steps: BST gating + fhist improves on the
+    // conventional perceptron, and bias-free history improves again.
+    let runner = SuiteRunner::generate(SCALE);
+    let conv = mean_mpki(&runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb())));
+    let fhist = mean_mpki(&runner.run(|_| {
+        Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist()))
+    }));
+    let bias_free = mean_mpki(&runner.run(|_| {
+        Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()))
+    }));
+    assert!(
+        fhist < conv,
+        "fhist bar ({fhist:.3}) must improve on conventional ({conv:.3})"
+    );
+    assert!(
+        bias_free < conv,
+        "bias-free bar ({bias_free:.3}) must improve on conventional ({conv:.3})"
+    );
+}
+
+#[test]
+fn recency_stack_wins_on_its_target_traces() {
+    // Figure 9's rightmost step, checked where the paper locates it:
+    // "Traces such as SPEC03 [SPEC14, SPEC18] ... RS assists those".
+    let specs: Vec<_> = ["SPEC03", "SPEC14", "SPEC18"]
+        .iter()
+        .map(|n| bfbp::trace::synth::suite::find(n).expect("trace"))
+        .collect();
+    let runner = SuiteRunner::from_specs(specs, 0.5);
+    let without_rs = mean_mpki(&runner.run(|_| {
+        Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()))
+    }));
+    let with_rs = mean_mpki(&runner.run(|_| {
+        Box::new(BfNeural::new(BfNeuralConfig::ablation_recency_stack()))
+    }));
+    assert!(
+        with_rs < without_rs,
+        "RS ({with_rs:.3}) must beat bias-filtered-only ({without_rs:.3}) on SPEC03/14/18"
+    );
+}
+
+#[test]
+fn fifteen_tables_beat_ten_on_long_history_traces() {
+    // §VI-D: the long-history-sensitive traces gain from tables 10→15.
+    let specs: Vec<_> = ["SPEC00", "SPEC03", "SPEC10", "SPEC15", "SPEC17"]
+        .iter()
+        .map(|n| bfbp::trace::synth::suite::find(n).expect("trace"))
+        .collect();
+    let runner = SuiteRunner::from_specs(specs, 0.5);
+    let t10 = mean_mpki(&runner.run(|_| Box::new(isl_tage(10))));
+    let t15 = mean_mpki(&runner.run(|_| Box::new(isl_tage(15))));
+    assert!(
+        t15 < t10,
+        "TAGE-15 ({t15:.3}) must beat TAGE-10 ({t10:.3}) on long-history traces"
+    );
+}
+
+#[test]
+fn figure12_hits_shift_toward_shorter_tables() {
+    // Figure 12: BF-TAGE's provider distribution sits at shorter tables
+    // than conventional TAGE's on the long-history traces.
+    let shifts = experiments::fig12_hits(0.1);
+    let shifted = shifts
+        .iter()
+        .filter(|(_, tage15, bf10)| bf10 < tage15)
+        .count();
+    assert!(
+        shifted >= 5,
+        "expected most Fig-12 traces to shift shorter; got {shifted}/7: {shifts:?}"
+    );
+}
+
+#[test]
+fn bf_tage_matches_conventional_at_four_tables() {
+    // Figure 10's left edge: at small table counts the bias-free history
+    // must at least match conventional TAGE at the same storage.
+    let curve = experiments::fig10_tables(0.1);
+    let (n, conv, bf) = curve[0];
+    assert_eq!(n, 4);
+    assert!(
+        bf <= conv * 1.05,
+        "BF-ISL-TAGE-4 ({bf:.3}) should be within 5% of ISL-TAGE-4 ({conv:.3})"
+    );
+}

@@ -1,0 +1,230 @@
+//! Property-based tests (proptest) for the core data structures and
+//! invariants: trace-format roundtrips, recency-stack invariants, BST
+//! FSM equivalence against a reference model, folded-history consistency,
+//! history-register semantics, and BF-GHR bounds.
+
+use std::collections::HashMap;
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use bfbp::core::bf_ghr::BfGhr;
+use bfbp::core::bst::{BranchStatus, Bst};
+use bfbp::core::recency::RecencyStack;
+use bfbp::predictors::counter::{CounterTable, SatCounter};
+use bfbp::predictors::history::{GlobalHistory, ManagedHistory};
+use bfbp::trace::format::{read_trace, write_trace};
+use bfbp::trace::record::{BranchKind, BranchRecord, Trace};
+
+fn arb_record() -> impl Strategy<Value = BranchRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u8..6,
+        any::<bool>(),
+        0u32..10_000,
+    )
+        .prop_map(|(pc, target, kind, taken, insts)| {
+            let kind = BranchKind::from_u8(kind).expect("0..6 are valid kinds");
+            BranchRecord {
+                pc,
+                target,
+                kind,
+                taken: if kind.is_conditional() { taken } else { true },
+                non_branch_insts: insts,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_format_roundtrips_any_records(
+        name in "[a-zA-Z0-9 _-]{0,40}",
+        records in prop::collection::vec(arb_record(), 0..200),
+    ) {
+        let trace = Trace::new(name, records);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write");
+        let back = read_trace(Cursor::new(&buf)).expect("read");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn trace_format_rejects_any_single_bitflip(
+        records in prop::collection::vec(arb_record(), 1..50),
+        flip_seed in any::<u64>(),
+    ) {
+        let trace = Trace::new("t", records);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).expect("write");
+        // Flip one bit somewhere in the body or footer (past the magic
+        // and version, which have their own checks).
+        let pos = 6 + (flip_seed as usize % (buf.len() - 6));
+        let bit = (flip_seed >> 32) % 8;
+        buf[pos] ^= 1 << bit;
+        // Must fail loudly — either a parse error or a checksum/count
+        // mismatch — or, if the flip landed in the name length/content,
+        // produce a different name; silent identical success is a bug.
+        if let Ok(back) = read_trace(Cursor::new(&buf)) {
+            prop_assert_ne!(back, trace, "corruption must not go unnoticed");
+        }
+    }
+
+    #[test]
+    fn recency_stack_invariants_hold(
+        ops in prop::collection::vec((0u64..24, any::<bool>()), 1..300),
+        capacity in 1usize..16,
+    ) {
+        let mut rs = RecencyStack::new(capacity);
+        let mut last_seen: HashMap<u64, (u64, bool)> = HashMap::new();
+        for (now, (key, outcome)) in ops.into_iter().enumerate() {
+            let now = now as u64;
+            rs.record(key, outcome, now);
+            last_seen.insert(key, (now, outcome));
+
+            // Size bounded by capacity.
+            prop_assert!(rs.len() <= capacity);
+            // No duplicate keys.
+            let mut keys: Vec<u64> = rs.iter().map(|e| e.key).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), rs.len());
+            // Births strictly decreasing top to bottom (recency order).
+            let births: Vec<u64> = rs.iter().map(|e| e.birth).collect();
+            for w in births.windows(2) {
+                prop_assert!(w[0] > w[1]);
+            }
+            // Every entry reflects the latest occurrence of its key.
+            for e in rs.iter() {
+                let (birth, outcome) = last_seen[&e.key];
+                prop_assert_eq!(e.birth, birth);
+                prop_assert_eq!(e.outcome, outcome);
+            }
+            // The most recent key is always on top.
+            prop_assert_eq!(rs.iter().next().unwrap().key, key);
+        }
+    }
+
+    #[test]
+    fn bst_matches_reference_model(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        // Reference: per-PC "seen taken / seen not-taken" sets. The BST
+        // is large enough here that no aliasing occurs (64 PCs, 2^10
+        // entries, distinct low bits).
+        let mut bst = Bst::new(10);
+        let mut seen: HashMap<u64, (bool, bool)> = HashMap::new();
+        for (pc_low, taken) in ops {
+            let pc = pc_low << 2; // distinct table slots
+            let e = seen.entry(pc).or_insert((false, false));
+            if taken {
+                e.0 = true;
+            } else {
+                e.1 = true;
+            }
+            let status = bst.commit(pc, taken);
+            let expected = match *e {
+                (true, true) => BranchStatus::NonBiased,
+                (true, false) => BranchStatus::Taken,
+                (false, true) => BranchStatus::NotTaken,
+                (false, false) => unreachable!("at least one direction seen"),
+            };
+            prop_assert_eq!(status, expected);
+            prop_assert_eq!(bst.status(pc), expected);
+        }
+    }
+
+    #[test]
+    fn folded_history_equals_recompute(
+        bits in prop::collection::vec(any::<bool>(), 1..500),
+        olen in 1usize..200,
+        clen in 1usize..20,
+    ) {
+        let mut m = ManagedHistory::new(256, &[(olen.min(256), clen)]);
+        for b in bits {
+            m.push(b);
+            prop_assert_eq!(m.fold(0), m.folds()[0].recompute(m.history()));
+        }
+    }
+
+    #[test]
+    fn global_history_matches_vec_model(
+        bits in prop::collection::vec(any::<bool>(), 1..300),
+        capacity in 1usize..100,
+    ) {
+        let mut h = GlobalHistory::new(capacity);
+        let mut model: Vec<bool> = Vec::new();
+        for b in bits {
+            h.push(b);
+            model.push(b);
+            for age in 0..h.capacity() + 4 {
+                let expected = if age < h.capacity() && age < model.len() {
+                    model[model.len() - 1 - age]
+                } else {
+                    false
+                };
+                prop_assert_eq!(h.bit(age), expected, "age {}", age);
+            }
+        }
+    }
+
+    #[test]
+    fn sat_counter_stays_in_range(
+        bits in 1u32..8,
+        ops in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let mut c = SatCounter::new(bits);
+        for taken in ops {
+            c.train(taken);
+            prop_assert!(c.value() >= c.min());
+            prop_assert!(c.value() <= c.max());
+            prop_assert_eq!(c.is_taken(), c.value() >= 0);
+        }
+    }
+
+    #[test]
+    fn counter_table_stays_in_range(
+        ops in prop::collection::vec((0usize..32, -20i32..20), 0..200),
+        bits in 1u32..8,
+    ) {
+        let mut t = CounterTable::new(32, bits);
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        for (idx, delta) in ops {
+            t.add(idx, delta);
+            prop_assert!((lo..=hi).contains(&t.get(idx)));
+        }
+    }
+
+    #[test]
+    fn bf_ghr_stays_within_compressed_capacity(
+        ops in prop::collection::vec((any::<u16>(), any::<bool>(), any::<bool>()), 0..2500),
+    ) {
+        let mut ghr = BfGhr::new();
+        let mut out = Vec::new();
+        for (key, taken, non_biased) in ops {
+            ghr.commit(key & 0x3FFF, taken, non_biased);
+            prop_assert!(ghr.compressed_len() <= ghr.compressed_capacity());
+        }
+        ghr.collect(&mut out);
+        prop_assert_eq!(out.len(), ghr.compressed_len());
+        let mut mixed = Vec::new();
+        ghr.collect_mixed(&mut mixed);
+        prop_assert_eq!(mixed.len(), out.len());
+    }
+
+    #[test]
+    fn biased_only_streams_never_populate_segments(
+        keys in prop::collection::vec(any::<u16>(), 20..200),
+    ) {
+        // A stream of purely biased branches must leave every segment
+        // stack empty: the BF-GHR compresses it to just the prefix.
+        let mut ghr = BfGhr::new();
+        for k in keys {
+            ghr.commit(k & 0x3FFF, true, false);
+        }
+        prop_assert!(ghr.compressed_len() <= ghr.recent_len());
+    }
+}

@@ -1,0 +1,97 @@
+//! Robustness fuzzing: every public predictor must behave sanely —
+//! no panics, bounded state — on arbitrary branch streams, including
+//! degenerate PCs (0, u64::MAX, unaligned) and hostile interleavings.
+
+use proptest::prelude::*;
+
+use bfbp::core::bf_neural::BfNeural;
+use bfbp::core::bf_tage::bf_isl_tage;
+use bfbp::predictors::piecewise::PiecewiseLinear;
+use bfbp::predictors::snap::ScaledNeural;
+use bfbp::sim::predictor::ConditionalPredictor;
+use bfbp::sim::simulate::simulate;
+use bfbp::tage::isl::isl_tage;
+use bfbp::trace::record::{BranchKind, BranchRecord, Trace};
+
+fn arb_stream() -> impl Strategy<Value = Vec<BranchRecord>> {
+    prop::collection::vec(
+        (
+            prop_oneof![
+                Just(0u64),
+                Just(u64::MAX),
+                Just(1u64),
+                any::<u64>(),
+                0u64..64, // heavy aliasing
+            ],
+            any::<u64>(),
+            0u8..6,
+            any::<bool>(),
+            0u32..64,
+        )
+            .prop_map(|(pc, target, kind, taken, insts)| {
+                let kind = BranchKind::from_u8(kind).expect("valid kind");
+                BranchRecord {
+                    pc,
+                    target,
+                    kind,
+                    taken: if kind.is_conditional() { taken } else { true },
+                    non_branch_insts: insts,
+                }
+            }),
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_predictor_panics_on_arbitrary_streams(records in arb_stream()) {
+        let trace = Trace::new("fuzz", records);
+        let predictors: Vec<Box<dyn ConditionalPredictor>> = vec![
+            Box::new(BfNeural::budget_64kb()),
+            Box::new(bf_isl_tage(4)),
+            Box::new(isl_tage(15)),
+            Box::new(ScaledNeural::budget_64kb()),
+            Box::new(PiecewiseLinear::conventional_64kb()),
+        ];
+        for mut p in predictors {
+            let r = simulate(p.as_mut(), &trace);
+            prop_assert!(r.mispredictions() <= r.conditional_branches());
+            prop_assert!(r.accuracy() >= 0.0 && r.accuracy() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn predictors_are_replay_deterministic(records in arb_stream()) {
+        let trace = Trace::new("fuzz", records);
+        let mut a = bf_isl_tage(7);
+        let mut b = bf_isl_tage(7);
+        let ra = simulate(&mut a, &trace);
+        let rb = simulate(&mut b, &trace);
+        prop_assert_eq!(ra.mispredictions(), rb.mispredictions());
+    }
+
+    #[test]
+    fn single_branch_always_taken_is_learned_by_everyone(
+        pc in any::<u64>(),
+        len in 50usize..200,
+    ) {
+        let records = vec![BranchRecord::cond(pc, pc ^ 0x40, true, 1); len];
+        let trace = Trace::new("mono", records);
+        let predictors: Vec<Box<dyn ConditionalPredictor>> = vec![
+            Box::new(BfNeural::budget_64kb()),
+            Box::new(bf_isl_tage(4)),
+            Box::new(isl_tage(4)),
+        ];
+        for mut p in predictors {
+            let name = p.name();
+            let r = simulate(p.as_mut(), &trace);
+            prop_assert!(
+                r.mispredictions() <= 4,
+                "{} missed {} of {} on an always-taken branch",
+                name, r.mispredictions(), len
+            );
+        }
+    }
+}
