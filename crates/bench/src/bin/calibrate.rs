@@ -2,38 +2,45 @@
 //! reduced scale. Development aid, not a paper figure.
 
 use bfbp_bench::{banner, print_mpki_table, scale};
-use bfbp_core::bf_neural::{BfNeural, BfNeuralConfig};
-use bfbp_core::bf_tage::bf_isl_tage;
-use bfbp_predictors::piecewise::PiecewiseLinear;
-use bfbp_predictors::snap::ScaledNeural;
+use bfbp_sim::engine::{sweep, SweepOptions};
+use bfbp_sim::registry::PredictorSpec;
 use bfbp_sim::runner::SuiteRunner;
-use bfbp_tage::isl::isl_tage;
 
 fn main() {
     let scale = scale(0.2);
     banner("calibration", &format!("suite scale {scale}"));
+    let registry = bfbp::default_registry();
     let runner = SuiteRunner::generate(scale);
+    let labels = [
+        "pwl", "snap", "tage15", "tage10", "bf-n(full)", "bf-n(fh)", "bf-n(bf)", "bf-tage10",
+    ];
+    let specs = [
+        PredictorSpec::new("piecewise").labeled(labels[0]),
+        PredictorSpec::new("oh-snap").labeled(labels[1]),
+        PredictorSpec::new("isl-tage").with("tables", 15usize).labeled(labels[2]),
+        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled(labels[3]),
+        PredictorSpec::new("bf-neural").labeled(labels[4]),
+        PredictorSpec::new("bf-neural")
+            .with("history-mode", "unfiltered")
+            .labeled(labels[5]),
+        PredictorSpec::new("bf-neural")
+            .with("history-mode", "bias-filtered")
+            .labeled(labels[6]),
+        PredictorSpec::new("bf-isl-tage").labeled(labels[7]),
+    ];
     let t0 = std::time::Instant::now();
-    let pwl = runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb()));
-    eprintln!("pwl done {:?}", t0.elapsed());
-    let snap = runner.run(|_| Box::new(ScaledNeural::budget_64kb()));
-    eprintln!("snap done {:?}", t0.elapsed());
-    let tage15 = runner.run(|_| Box::new(isl_tage(15)));
-    eprintln!("tage15 done {:?}", t0.elapsed());
-    let tage10 = runner.run(|_| Box::new(isl_tage(10)));
-    eprintln!("tage10 done {:?}", t0.elapsed());
-    let bf = runner.run(|_| Box::new(BfNeural::budget_64kb()));
-    eprintln!("bf-neural done {:?}", t0.elapsed());
-    let bf2 = runner.run(|_| Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist())));
-    eprintln!("bf2 done {:?}", t0.elapsed());
-    let bf3 = runner.run(|_| {
-        Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()))
-    });
-    eprintln!("bf3 done {:?}", t0.elapsed());
-    let bftage10 = runner.run(|_| Box::new(bf_isl_tage(10)));
-    eprintln!("bf-tage done {:?}", t0.elapsed());
-    print_mpki_table(
-        &["pwl", "snap", "tage15", "tage10", "bf-n(full)", "bf-n(fh)", "bf-n(bf)", "bf-tage10"],
-        &[pwl, snap, tage15, tage10, bf, bf2, bf3, bftage10],
+    let report = sweep(&registry, &specs, &runner, &SweepOptions::default())
+        .expect("calibration specs are registered");
+    eprintln!(
+        "{} jobs on {} threads in {:?} (speedup {:.2}x)",
+        report.jobs().len(),
+        report.threads(),
+        t0.elapsed(),
+        report.speedup()
     );
+    let series: Vec<Vec<_>> = labels.iter().map(|l| report.results(l)).collect();
+    print_mpki_table(&labels, &series);
+    if let Ok(path) = report.write_json("calibrate") {
+        eprintln!("results: {}", path.display());
+    }
 }

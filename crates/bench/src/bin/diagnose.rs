@@ -1,32 +1,26 @@
 //! Development diagnostic: per-PC misprediction breakdown for one trace
-//! and one predictor.
+//! and one predictor spec (e.g. `diagnose SPEC03 isl-tage:tables=10`).
 
 use std::collections::HashMap;
 
-use bfbp_core::bf_neural::{BfNeural, BfNeuralConfig};
-use bfbp_core::bf_tage::bf_isl_tage;
-use bfbp_sim::predictor::ConditionalPredictor;
-use bfbp_tage::isl::isl_tage;
+use bfbp_sim::registry::PredictorSpec;
 use bfbp_trace::synth::suite;
-
-fn make(which: &str) -> Box<dyn ConditionalPredictor> {
-    match which {
-        "tage10" => Box::new(isl_tage(10)),
-        "tage15" => Box::new(isl_tage(15)),
-        "bftage10" => Box::new(bf_isl_tage(10)),
-        "bf" => Box::new(BfNeural::budget_64kb()),
-        "bf-fh" => Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist())),
-        "bf-bf" => Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist())),
-        other => panic!("unknown predictor {other}"),
-    }
-}
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "SPEC03".into());
-    let which = std::env::args().nth(2).unwrap_or_else(|| "tage10".into());
-    let spec = suite::find(&name).expect("trace name");
-    let trace = spec.generate();
-    let mut p = make(&which);
+    let which = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "isl-tage:tables=10".into());
+    let registry = bfbp::default_registry();
+    let spec = PredictorSpec::parse(&which).expect("predictor spec");
+    let mut p = registry.build_spec(&spec).unwrap_or_else(|e| {
+        panic!(
+            "cannot build {which:?}: {e} (registered: {})",
+            registry.names().join(", ")
+        )
+    });
+    let trace_spec = suite::find(&name).expect("trace name");
+    let trace = trace_spec.generate();
     let mut per_pc: HashMap<u64, (u64, u64, u64)> = HashMap::new(); // (mispredicts, total, late mispredicts)
     let n = trace.len();
     for (i, r) in trace.iter().enumerate() {

@@ -2,54 +2,51 @@
 //! the entry point for using this library on your own recorded traces.
 //!
 //! ```sh
-//! simulate_trace <trace.bfbt> [predictor]
+//! simulate_trace <trace.bfbt> [predictor-spec]
 //! ```
 //!
-//! Predictors: bf-neural (default), bf-isl-tage-10, isl-tage-15,
-//! isl-tage-10, oh-snap, piecewise, gshare, bimodal.
+//! The predictor spec is a registry spec: a registered name optionally
+//! followed by `:key=value,...` overrides, e.g. `bf-neural` (default),
+//! `isl-tage:tables=15,sc=false`, or `gshare:log-size=20,hist=18`.
+//! Pass `list` to print every registered predictor.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 
-use bfbp_core::bf_neural::BfNeural;
-use bfbp_core::bf_tage::bf_isl_tage;
-use bfbp_predictors::bimodal::Bimodal;
-use bfbp_predictors::gshare::Gshare;
-use bfbp_predictors::piecewise::PiecewiseLinear;
-use bfbp_predictors::snap::ScaledNeural;
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::registry::PredictorSpec;
 use bfbp_sim::simulate::simulate_stream;
-use bfbp_tage::isl::isl_tage;
 use bfbp_trace::format::TraceReader;
 
-fn make(which: &str) -> Option<Box<dyn ConditionalPredictor>> {
-    Some(match which {
-        "bf-neural" => Box::new(BfNeural::budget_64kb()),
-        "bf-isl-tage-10" => Box::new(bf_isl_tage(10)),
-        "isl-tage-15" => Box::new(isl_tage(15)),
-        "isl-tage-10" => Box::new(isl_tage(10)),
-        "oh-snap" => Box::new(ScaledNeural::budget_64kb()),
-        "piecewise" => Box::new(PiecewiseLinear::conventional_64kb()),
-        "gshare" => Box::new(Gshare::budget_64kb()),
-        "bimodal" => Box::new(Bimodal::default_64kb_base()),
-        _ => return None,
-    })
-}
-
 fn main() -> ExitCode {
+    let registry = bfbp::default_registry();
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
-        eprintln!("usage: simulate_trace <trace.bfbt> [predictor]");
+        eprintln!("usage: simulate_trace <trace.bfbt> [predictor-spec]");
+        eprintln!("       simulate_trace list");
         return ExitCode::FAILURE;
     };
+    if path == "list" {
+        for name in registry.names() {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let which = args.next().unwrap_or_else(|| "bf-neural".to_owned());
-    let Some(mut predictor) = make(&which) else {
-        eprintln!(
-            "unknown predictor {which}; try bf-neural, bf-isl-tage-10, \
-             isl-tage-15, isl-tage-10, oh-snap, piecewise, gshare, bimodal"
-        );
-        return ExitCode::FAILURE;
+    let spec = match PredictorSpec::parse(&which) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad predictor spec {which:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut predictor = match registry.build_spec(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot build {which:?}: {e}");
+            eprintln!("registered predictors: {}", registry.names().join(", "));
+            return ExitCode::FAILURE;
+        }
     };
     let file = match File::open(&path) {
         Ok(f) => f,

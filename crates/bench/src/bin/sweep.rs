@@ -1,0 +1,106 @@
+//! General-purpose sweep driver: run any set of registered predictor
+//! specs over the synthetic suite through the parallel engine and write
+//! the machine-readable results JSON.
+//!
+//! ```sh
+//! sweep [--threads N] [--run NAME] [--interval INSTS] <spec> [<spec>...]
+//! sweep --list
+//! ```
+//!
+//! Each `<spec>` is `[label=]name[:key=value,...]`, e.g.
+//! `bf-neural`, `tage15=isl-tage:tables=15,sc=false`, or
+//! `gshare:log-size=20`. Trace lengths scale with `BFBP_TRACE_SCALE`
+//! (default 1.0); the JSON lands in `target/results/<run>.json` unless
+//! `BFBP_RESULTS_DIR` overrides the directory.
+
+use std::process::ExitCode;
+
+use bfbp_bench::{banner, print_mpki_table, scale};
+use bfbp_sim::engine::{sweep, SweepOptions};
+use bfbp_sim::registry::PredictorSpec;
+use bfbp_sim::runner::SuiteRunner;
+
+fn main() -> ExitCode {
+    let registry = bfbp::default_registry();
+    let mut options = SweepOptions::default();
+    let mut run = "sweep".to_owned();
+    let mut specs: Vec<PredictorSpec> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                for name in registry.names() {
+                    let desc = registry.describe(name).unwrap_or_default();
+                    println!("{name:<18} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.threads = n,
+                None => return usage("--threads needs a number"),
+            },
+            "--interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.interval_insts = n,
+                None => return usage("--interval needs an instruction count"),
+            },
+            "--run" => match args.next() {
+                Some(name) => run = name,
+                None => return usage("--run needs a name"),
+            },
+            text => match PredictorSpec::parse(text) {
+                Ok(s) => specs.push(s),
+                Err(e) => return usage(&format!("bad spec {text:?}: {e}")),
+            },
+        }
+    }
+    if specs.is_empty() {
+        return usage("no predictor specs given");
+    }
+
+    let scale = scale(1.0);
+    banner(
+        "sweep",
+        &format!("{} spec(s) over the suite at scale {scale}", specs.len()),
+    );
+    let runner = SuiteRunner::generate(scale);
+    let report = match sweep(&registry, &specs, &runner, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            eprintln!("registered predictors: {}", registry.names().join(", "));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let labeled = report.all_results();
+    let labels: Vec<&str> = labeled.iter().map(|(l, _)| l.as_str()).collect();
+    let series: Vec<Vec<_>> = labeled.iter().map(|(_, r)| r.clone()).collect();
+    print_mpki_table(&labels, &series);
+    println!(
+        "\n{} jobs on {} threads: wall {:.0} ms, cpu {:.0} ms, speedup {:.2}x",
+        report.jobs().len(),
+        report.threads(),
+        report.wall().as_secs_f64() * 1e3,
+        report.cpu().as_secs_f64() * 1e3,
+        report.speedup()
+    );
+    match report.write_json(&run) {
+        Ok(path) => println!("results: {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write results JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: sweep [--threads N] [--run NAME] [--interval INSTS] <spec> [<spec>...]\n\
+                sweep --list\n\
+         spec: [label=]name[:key=value,...]"
+    );
+    ExitCode::FAILURE
+}

@@ -3,6 +3,15 @@
 //! same rows/series the paper reports and returns the headline numbers so
 //! integration tests can assert on shapes without scraping stdout.
 //!
+//! Predictor configurations are [`PredictorSpec`]s built through the
+//! workspace registry ([`bfbp::default_registry`]) and executed by the
+//! parallel sweep engine ([`bfbp_sim::engine::sweep`]); each figure also
+//! drops a machine-readable JSON document under `target/results/`
+//! (`$BFBP_RESULTS_DIR` overrides the directory). The handful of
+//! experiments that need concrete predictor internals (provider
+//! statistics, explicit classifiers, the idealized Algorithm 1) still
+//! construct those types directly.
+//!
 //! Scale: all functions take a trace-length scale factor (1.0 = the
 //! suite's default lengths); harness binaries pass
 //! `env_scale`-controlled values so `BFBP_TRACE_SCALE=0.05` gives a quick
@@ -12,19 +21,50 @@ use bfbp_core::bf_neural::{BfNeural, BfNeuralConfig};
 use bfbp_core::bf_tage::{bf_isl_tage, BfTage};
 use bfbp_core::bst::Classifier;
 use bfbp_core::profile::StaticProfile;
-use bfbp_predictors::piecewise::PiecewiseLinear;
-use bfbp_predictors::snap::ScaledNeural;
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::engine::{sweep, SweepOptions, SweepReport};
+use bfbp_sim::registry::{PredictorRegistry, PredictorSpec};
 use bfbp_sim::runner::SuiteRunner;
-use bfbp_sim::simulate::{mean_mpki, simulate, SimResult};
+use bfbp_sim::simulate::{simulate, SimResult};
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_tage::config::TageConfig;
-use bfbp_tage::isl::{isl_tage, Isl};
+use bfbp_tage::isl::Isl;
 use bfbp_tage::tage::Tage;
 use bfbp_trace::stats::BiasProfile;
 use bfbp_trace::synth::suite;
 
 use crate::{banner, cell, print_mpki_table};
+
+/// Runs `specs` over the suite at `scale` through the parallel engine
+/// and writes the `<run>.json` results document. Panics on a spec that
+/// does not build — every spec here names a registered predictor.
+fn run_sweep(specs: &[PredictorSpec], scale: f64, run: &str) -> SweepReport {
+    let registry = bfbp::default_registry();
+    let runner = SuiteRunner::generate(scale);
+    run_sweep_with(&registry, specs, &runner, run)
+}
+
+/// [`run_sweep`] against a caller-provided registry and trace suite.
+fn run_sweep_with(
+    registry: &PredictorRegistry,
+    specs: &[PredictorSpec],
+    runner: &SuiteRunner,
+    run: &str,
+) -> SweepReport {
+    let report = sweep(registry, specs, runner, &SweepOptions::default())
+        .unwrap_or_else(|e| panic!("sweep {run} failed to build a spec: {e}"));
+    match report.write_json(run) {
+        Ok(path) => println!(
+            "[{run}: {} jobs on {} threads, wall {:.0} ms, speedup {:.2}x -> {}]",
+            report.jobs().len(),
+            report.threads(),
+            report.wall().as_secs_f64() * 1e3,
+            report.speedup(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write results for {run}: {e}"),
+    }
+    report
+}
 
 /// Figure 2: percentage of completely biased static branches per trace
 /// (plus the dynamic share, which the paper's text discusses). Returns
@@ -57,6 +97,17 @@ pub fn fig02_bias(scale: f64) -> Vec<f64> {
     out
 }
 
+/// The Figure 8 predictor set: OH-SNAP, the paper's TAGE baseline
+/// (15 tagged tables + loop predictor, no SC), and BF-Neural, all at a
+/// ~64 KB budget.
+fn fig08_specs() -> Vec<PredictorSpec> {
+    vec![
+        PredictorSpec::new("oh-snap").labeled("OH-SNAP"),
+        PredictorSpec::new("isl-tage").with("sc", false).labeled("TAGE"),
+        PredictorSpec::new("bf-neural").labeled("BF-Neural"),
+    ]
+}
+
 /// Figure 8: MPKI comparison between OH-SNAP, TAGE (15 tagged tables +
 /// loop predictor, no SC — the paper's baseline) and BF-Neural, all at a
 /// ~64 KB budget. Returns `(snap, tage, bf_neural)` mean MPKI.
@@ -65,12 +116,21 @@ pub fn fig08_mpki(scale: f64) -> (f64, f64, f64) {
         "Figure 8 — MPKI Comparison between Various Predictors",
         "paper: OH-SNAP 2.63, TAGE 2.445, BF-Neural 2.49 (64 KB budget)",
     );
-    let runner = SuiteRunner::generate(scale);
-    let snap = runner.run(|_| Box::new(ScaledNeural::budget_64kb()));
-    let tage = runner.run(|_| Box::new(Isl::without_sc(Tage::with_tables(15))));
-    let bf = runner.run(|_| Box::new(BfNeural::budget_64kb()));
-    print_mpki_table(&["OH-SNAP", "TAGE", "BF-Neural"], &[snap.clone(), tage.clone(), bf.clone()]);
-    let result = (mean_mpki(&snap), mean_mpki(&tage), mean_mpki(&bf));
+    let report = run_sweep(&fig08_specs(), scale, "fig08");
+    let (snap, tage, bf) = (
+        report.results("OH-SNAP"),
+        report.results("TAGE"),
+        report.results("BF-Neural"),
+    );
+    print_mpki_table(
+        &["OH-SNAP", "TAGE", "BF-Neural"],
+        &[snap, tage, bf],
+    );
+    let result = (
+        report.mean_mpki("OH-SNAP"),
+        report.mean_mpki("TAGE"),
+        report.mean_mpki("BF-Neural"),
+    );
     println!(
         "\nmeans: OH-SNAP {:.3}  TAGE {:.3}  BF-Neural {:.3}  (BF vs OH-SNAP: {:+.1}%)",
         result.0,
@@ -88,10 +148,12 @@ pub fn fig08_32kb(scale: f64) -> f64 {
         "§VI-B — BF-Neural at 32 KB",
         "paper: 2.73 MPKI (vs 2.49 at 64 KB)",
     );
-    let runner = SuiteRunner::generate(scale);
-    let bf32 = runner.run(|_| Box::new(BfNeural::new(BfNeuralConfig::budget_32kb())));
-    let bf64 = runner.run(|_| Box::new(BfNeural::budget_64kb()));
-    let (m32, m64) = (mean_mpki(&bf32), mean_mpki(&bf64));
+    let specs = [
+        PredictorSpec::new("bf-neural-32kb").labeled("32kb"),
+        PredictorSpec::new("bf-neural").labeled("64kb"),
+    ];
+    let report = run_sweep(&specs, scale, "fig08-32kb");
+    let (m32, m64) = (report.mean_mpki("32kb"), report.mean_mpki("64kb"));
     println!("BF-Neural 32 KB: {m32:.3} MPKI   BF-Neural 64 KB: {m64:.3} MPKI");
     m32
 }
@@ -105,27 +167,31 @@ pub fn fig09_ablation(scale: f64) -> [f64; 4] {
         "Figure 9 — Contribution of Optimizations for the BF-Neural Predictor",
         "paper: 3.28 -> 2.67 -> 2.59 -> 2.49 MPKI",
     );
-    let runner = SuiteRunner::generate(scale);
-    let conv = runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb()));
-    let fhist = runner.run(|_| Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist())));
-    let bias_free =
-        runner.run(|_| Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist())));
-    let rs = runner.run(|_| Box::new(BfNeural::new(BfNeuralConfig::ablation_recency_stack())));
-    print_mpki_table(
-        &[
-            "Conventional",
-            "BF (fhist)",
-            "BF (bias-free ghist)",
-            "BF (+ recency stack)",
-        ],
-        &[conv.clone(), fhist.clone(), bias_free.clone(), rs.clone()],
-    );
-    let bars = [
-        mean_mpki(&conv),
-        mean_mpki(&fhist),
-        mean_mpki(&bias_free),
-        mean_mpki(&rs),
+    let labels = [
+        "Conventional",
+        "BF (fhist)",
+        "BF (bias-free ghist)",
+        "BF (+ recency stack)",
     ];
+    let specs = [
+        PredictorSpec::new("piecewise").labeled(labels[0]),
+        PredictorSpec::new("bf-neural")
+            .with("history-mode", "unfiltered")
+            .labeled(labels[1]),
+        PredictorSpec::new("bf-neural")
+            .with("history-mode", "bias-filtered")
+            .labeled(labels[2]),
+        PredictorSpec::new("bf-neural").labeled(labels[3]),
+    ];
+    let report = run_sweep(&specs, scale, "fig09");
+    print_mpki_table(
+        &labels,
+        &labels
+            .iter()
+            .map(|l| report.results(l))
+            .collect::<Vec<_>>(),
+    );
+    let bars = labels.map(|l| report.mean_mpki(l));
     println!(
         "\nbars: {:.3} -> {:.3} -> {:.3} -> {:.3}",
         bars[0], bars[1], bars[2], bars[3]
@@ -142,7 +208,21 @@ pub fn fig10_tables(scale: f64) -> Vec<(usize, f64, f64)> {
         "paper: BF-ISL-TAGE below ISL-TAGE for small-to-moderate table counts\n\
          (e.g. 7 tables: 2.57 vs 2.73); roughly equal at 10",
     );
-    let runner = SuiteRunner::generate(scale);
+    let table_counts: Vec<usize> = (4..=10).collect();
+    let specs: Vec<PredictorSpec> = table_counts
+        .iter()
+        .flat_map(|&n| {
+            [
+                PredictorSpec::new("isl-tage")
+                    .with("tables", n)
+                    .labeled(&format!("isl-{n}")),
+                PredictorSpec::new("bf-isl-tage")
+                    .with("tables", n)
+                    .labeled(&format!("bf-isl-{n}")),
+            ]
+        })
+        .collect();
+    let report = run_sweep(&specs, scale, "fig10");
     println!(
         "{}{}{}",
         cell("tables", 8),
@@ -150,10 +230,11 @@ pub fn fig10_tables(scale: f64) -> Vec<(usize, f64, f64)> {
         cell("BF-ISL-TAGE", 14)
     );
     let mut out = Vec::new();
-    for n in 4..=10usize {
-        let conv = runner.run(|_| Box::new(isl_tage(n)));
-        let bf = runner.run(|_| Box::new(bf_isl_tage(n)));
-        let (a, b) = (mean_mpki(&conv), mean_mpki(&bf));
+    for n in table_counts {
+        let (a, b) = (
+            report.mean_mpki(&format!("isl-{n}")),
+            report.mean_mpki(&format!("bf-isl-{n}")),
+        );
         println!(
             "{}{}{}",
             cell(&n.to_string(), 8),
@@ -174,10 +255,17 @@ pub fn fig11_relative(scale: f64) -> Vec<(String, f64, f64)> {
         "positive = better than 10-table TAGE; paper: BF-TAGE-10 tracks TAGE-15\n\
          on long-history traces, loses on SPEC07/FP2/MM/SERV",
     );
-    let runner = SuiteRunner::generate(scale);
-    let t10 = runner.run(|_| Box::new(isl_tage(10)));
-    let t15 = runner.run(|_| Box::new(isl_tage(15)));
-    let bf10 = runner.run(|_| Box::new(bf_isl_tage(10)));
+    let specs = [
+        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("t10"),
+        PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("t15"),
+        PredictorSpec::new("bf-isl-tage").labeled("bf10"),
+    ];
+    let report = run_sweep(&specs, scale, "fig11");
+    let (t10, t15, bf10) = (
+        report.results("t10"),
+        report.results("t15"),
+        report.results("bf10"),
+    );
     println!(
         "{}{}{}",
         cell("trace", 10),
@@ -210,6 +298,11 @@ pub const FIG12_TRACES: [&str; 7] = [
 /// illustrating the shift toward shorter-history tables. Returns, per
 /// trace, the mean provider table index (1-based) for TAGE-15 and
 /// BF-TAGE-10.
+///
+/// Needs [`Tage::provider_stats`]/[`BfTage::provider_stats`], which are
+/// not part of the [`bfbp_sim::ConditionalPredictor`] trait, so this
+/// experiment constructs its predictors directly instead of going
+/// through the registry.
 pub fn fig12_hits(scale: f64) -> Vec<(String, f64, f64)> {
     banner(
         "Figure 12 — Branch-Hit Distribution over Tagged Tables",
@@ -267,10 +360,15 @@ pub fn table1_storage() -> StorageBreakdown {
         "Table I — Total storage for BF-TAGE with 10 tagged tables",
         "paper total: 51,100 bytes (tables + BST + RS + unfiltered history)",
     );
-    let bf = BfTage::new(&TageConfig::bias_free(10).expect("10 tables supported"));
+    let registry = bfbp::default_registry();
+    let bf = registry
+        .build("bf-tage", &bfbp_sim::registry::Params::new())
+        .expect("bf-tage is registered");
     let storage = bf.storage();
     println!("{storage}");
-    let conv = Tage::with_tables(10);
+    let conv = registry
+        .build("tage", &bfbp_sim::registry::Params::new())
+        .expect("tage is registered");
     println!(
         "\n(conventional 10-table TAGE for comparison: {} bytes)",
         conv.storage().total_bytes()
@@ -283,6 +381,11 @@ pub fn table1_storage() -> StorageBreakdown {
 /// branch exactly; the measured pass runs BF-ISL-TAGE with that profile
 /// instead of the dynamic BST. Returns `(trace, dynamic, profiled)` mean
 /// MPKI triples.
+///
+/// The profiled predictor needs [`Classifier::Static`] plugged into
+/// [`BfTage::with_classifier`] — a per-trace artifact, not a registry
+/// configuration — so this experiment constructs its predictors
+/// directly.
 pub fn profile_assist(scale: f64) -> Vec<(String, f64, f64)> {
     banner(
         "§VI-D — Static Profile-Assisted Classification",
@@ -325,61 +428,16 @@ pub fn profile_assist(scale: f64) -> Vec<(String, f64, f64)> {
 /// Convenience: the Figure 8 predictor set run over the suite, returned
 /// as per-trace results (used by the comparison example and tests).
 pub fn headline_results(scale: f64) -> Vec<(String, Vec<SimResult>)> {
+    let registry = bfbp::default_registry();
     let runner = SuiteRunner::generate(scale);
-    type Factory = Box<dyn Fn() -> Box<dyn ConditionalPredictor>>;
-    let mut out: Vec<(String, Vec<SimResult>)> = Vec::new();
-    let preds: Vec<(&str, Factory)> = vec![
-        ("oh-snap", Box::new(|| Box::new(ScaledNeural::budget_64kb()))),
-        (
-            "tage-15",
-            Box::new(|| Box::new(Isl::without_sc(Tage::with_tables(15)))),
-        ),
-        ("bf-neural", Box::new(|| Box::new(BfNeural::budget_64kb()))),
+    let specs = [
+        PredictorSpec::new("oh-snap"),
+        PredictorSpec::new("isl-tage").with("sc", false).labeled("tage-15"),
+        PredictorSpec::new("bf-neural"),
     ];
-    for (name, factory) in preds {
-        out.push((name.to_owned(), runner.run(|_| factory())));
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    const SMOKE: f64 = 0.02;
-
-    #[test]
-    fn fig02_reports_all_traces() {
-        let v = fig02_bias(SMOKE);
-        assert_eq!(v.len(), 40);
-        assert!(v.iter().all(|p| (0.0..=100.0).contains(p)));
-    }
-
-    #[test]
-    fn table1_close_to_paper_budget() {
-        let s = table1_storage();
-        let bytes = s.total_bytes();
-        // Paper: 51,100 bytes; ours includes the full 2048-deep raw
-        // history, so allow a band.
-        assert!(
-            (40_000..62_000).contains(&bytes),
-            "BF-TAGE-10 storage {bytes} bytes"
-        );
-    }
-
-    #[test]
-    fn profile_assist_runs() {
-        let v = profile_assist(SMOKE);
-        assert_eq!(v.len(), 3);
-        assert!(v.iter().all(|(_, d, p)| *d > 0.0 && *p > 0.0));
-    }
-
-    #[test]
-    fn design_ablations_cover_all_variants() {
-        let v = design_ablations(SMOKE);
-        assert_eq!(v.len(), 7);
-        assert!(v.iter().all(|(_, m)| *m > 0.0));
-    }
+    let report = sweep(&registry, &specs, &runner, &SweepOptions::default())
+        .expect("headline specs are registered");
+    report.all_results()
 }
 
 /// Design-choice ablations beyond the paper's Figure 9: each row toggles
@@ -392,58 +450,42 @@ pub fn design_ablations(scale: f64) -> Vec<(String, f64)> {
         "Design ablations — BF-Neural implementation choices",
         "each row disables/replaces one mechanism of the 64 KB design",
     );
-    let runner = SuiteRunner::generate(scale);
-    let base = BfNeuralConfig::budget_64kb();
-    let variants: Vec<(&str, BfNeuralConfig)> = vec![
-        ("baseline (full design)", base),
+    let variants: Vec<(&str, PredictorSpec)> = vec![
+        ("baseline (full design)", PredictorSpec::new("bf-neural")),
         (
             "no positional history (§III-C off)",
-            BfNeuralConfig {
-                positional: false,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("positional", false),
         ),
         (
             "no folded history (§IV-A off)",
-            BfNeuralConfig {
-                folded_hist: false,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("folded-hist", false),
         ),
         (
             "no loop predictor",
-            BfNeuralConfig {
-                loop_predictor: false,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("loop-predictor", false),
         ),
         (
             "probabilistic 3-bit BST (§IV-B1)",
-            BfNeuralConfig {
-                probabilistic_bst: true,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("probabilistic-bst", true),
         ),
         (
             "shallow recency stack (depth 16)",
-            BfNeuralConfig {
-                deep_depth: 16,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("deep-depth", 16usize),
         ),
         (
             "no recent unfiltered component (ht = 1)",
-            BfNeuralConfig {
-                recent_unfiltered: 1,
-                ..base
-            },
+            PredictorSpec::new("bf-neural").with("recent-unfiltered", 1usize),
         ),
     ];
+    let specs: Vec<PredictorSpec> = variants
+        .iter()
+        .map(|(label, spec)| spec.clone().labeled(label))
+        .collect();
+    let report = run_sweep(&specs, scale, "design-ablations");
     let mut out = Vec::new();
     let mut baseline = f64::NAN;
-    for (label, config) in variants {
-        let results = runner.run(|_| Box::new(BfNeural::new(config)));
-        let mpki = mean_mpki(&results);
+    for (label, _) in &variants {
+        let mpki = report.mean_mpki(label);
         if baseline.is_nan() {
             baseline = mpki;
         }
@@ -453,7 +495,7 @@ pub fn design_ablations(scale: f64) -> Vec<(String, f64)> {
             cell(&format!("{mpki:.3}"), 10),
             cell(&format!("{:+.3}", mpki - baseline), 10)
         );
-        out.push((label.to_owned(), mpki));
+        out.push(((*label).to_owned(), mpki));
     }
     out
 }
@@ -480,6 +522,7 @@ pub fn relearning_perturbation() -> (f64, f64) {
     );
     use bfbp_core::bf_neural::IdealBfNeural;
     use bfbp_core::bst::Bst;
+    use bfbp_sim::ConditionalPredictor;
     use bfbp_trace::synth::behavior::{BehaviorModel, Direction};
     use bfbp_trace::synth::builder::ProgramBuilder;
     use bfbp_trace::synth::program::Step;
@@ -572,4 +615,44 @@ pub fn relearning_perturbation() -> (f64, f64) {
         "BF-Neural dips {post_jump:+.1} points at the detection event and          recovers {tail_recovery:.1} points by the tail (§VI-D's recovery claim)"
     );
     (post_jump, tail_recovery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: f64 = 0.02;
+
+    #[test]
+    fn fig02_reports_all_traces() {
+        let v = fig02_bias(SMOKE);
+        assert_eq!(v.len(), 40);
+        assert!(v.iter().all(|p| (0.0..=100.0).contains(p)));
+    }
+
+    #[test]
+    fn table1_close_to_paper_budget() {
+        let s = table1_storage();
+        let bytes = s.total_bytes();
+        // Paper: 51,100 bytes; ours includes the full 2048-deep raw
+        // history, so allow a band.
+        assert!(
+            (40_000..62_000).contains(&bytes),
+            "BF-TAGE-10 storage {bytes} bytes"
+        );
+    }
+
+    #[test]
+    fn profile_assist_runs() {
+        let v = profile_assist(SMOKE);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|(_, d, p)| *d > 0.0 && *p > 0.0));
+    }
+
+    #[test]
+    fn design_ablations_cover_all_variants() {
+        let v = design_ablations(SMOKE);
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|(_, m)| *m > 0.0));
+    }
 }

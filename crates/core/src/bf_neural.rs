@@ -206,6 +206,7 @@ pub struct BfNeural {
     threshold_ctr: i32,
     loop_pred: Option<LoopPredictor>,
     scratch: Scratch,
+    name: String,
 }
 
 impl BfNeural {
@@ -248,6 +249,14 @@ impl BfNeural {
             now: 0,
             theta: 40,
             threshold_ctr: 0,
+            name: {
+                let mode = match config.history_mode {
+                    HistoryMode::Unfiltered => "fhist",
+                    HistoryMode::BiasFiltered => "ghist-bf+fhist",
+                    HistoryMode::RecencyStack => "ghist-bf+rs+fhist",
+                };
+                format!("bf-neural({mode})")
+            },
             loop_pred: config
                 .loop_predictor
                 .then(LoopPredictor::paper_64_entry),
@@ -386,13 +395,8 @@ impl BfNeural {
 }
 
 impl ConditionalPredictor for BfNeural {
-    fn name(&self) -> String {
-        let mode = match self.config.history_mode {
-            HistoryMode::Unfiltered => "fhist",
-            HistoryMode::BiasFiltered => "ghist-bf+fhist",
-            HistoryMode::RecencyStack => "ghist-bf+rs+fhist",
-        };
-        format!("bf-neural({mode})")
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {
@@ -575,8 +579,8 @@ impl IdealBfNeural {
 }
 
 impl ConditionalPredictor for IdealBfNeural {
-    fn name(&self) -> String {
-        "bf-neural-ideal".to_owned()
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed("bf-neural-ideal")
     }
 
     fn predict(&mut self, pc: u64) -> bool {

@@ -28,6 +28,7 @@ pub struct BfTage {
     classifier: Classifier,
     n_tables: usize,
     mixed_scratch: Vec<u64>,
+    name: String,
 }
 
 impl BfTage {
@@ -48,6 +49,7 @@ impl BfTage {
             classifier,
             n_tables: config.tables.len(),
             mixed_scratch: Vec::with_capacity(160),
+            name: format!("bf-tage-{}t", config.tables.len()),
         }
     }
 
@@ -122,8 +124,8 @@ impl BfTage {
 }
 
 impl ConditionalPredictor for BfTage {
-    fn name(&self) -> String {
-        format!("bf-tage-{}t", self.n_tables)
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

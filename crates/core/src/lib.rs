@@ -34,6 +34,7 @@ pub mod bf_tage;
 pub mod bst;
 pub mod profile;
 pub mod recency;
+pub mod registry;
 
 pub use bf_ghr::{BfGhr, GhrEntry, SEGMENT_BOUNDARIES, SEGMENT_RS_SIZE};
 pub use bf_neural::{BfNeural, BfNeuralConfig, HistoryMode, IdealBfNeural};
@@ -41,3 +42,4 @@ pub use bf_tage::{bf_isl_tage, BfIslTage, BfTage};
 pub use bst::{BranchStatus, Bst, Classifier, ProbabilisticBst};
 pub use profile::StaticProfile;
 pub use recency::{RecencyStack, RsEntry};
+pub use registry::register;

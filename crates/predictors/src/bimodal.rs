@@ -13,6 +13,7 @@ use crate::counter::CounterTable;
 pub struct Bimodal {
     table: CounterTable,
     mask: u64,
+    name: String,
 }
 
 impl Bimodal {
@@ -27,6 +28,7 @@ impl Bimodal {
         Self {
             table: CounterTable::new(1 << log_size, bits),
             mask: (1u64 << log_size) - 1,
+            name: format!("bimodal-{}e", 1u64 << log_size),
         }
     }
 
@@ -65,8 +67,8 @@ impl Bimodal {
 }
 
 impl ConditionalPredictor for Bimodal {
-    fn name(&self) -> String {
-        format!("bimodal-{}e", self.table.len())
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

@@ -18,6 +18,7 @@ pub struct Gshare {
     history: GlobalHistory,
     hist_len: usize,
     mask: u64,
+    name: String,
 }
 
 impl Gshare {
@@ -35,6 +36,7 @@ impl Gshare {
             history: GlobalHistory::new(hist_len.max(1)),
             hist_len,
             mask: (1u64 << log_size) - 1,
+            name: format!("gshare-{hist_len}h"),
         }
     }
 
@@ -54,8 +56,8 @@ impl Gshare {
 }
 
 impl ConditionalPredictor for Gshare {
-    fn name(&self) -> String {
-        format!("gshare-{}h", self.hist_len)
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

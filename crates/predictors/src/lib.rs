@@ -35,6 +35,7 @@ pub mod history;
 pub mod loop_pred;
 pub mod perceptron;
 pub mod piecewise;
+pub mod registry;
 pub mod snap;
 
 pub use bimodal::Bimodal;
@@ -42,4 +43,5 @@ pub use gshare::Gshare;
 pub use loop_pred::{LoopPrediction, LoopPredictor};
 pub use perceptron::Perceptron;
 pub use piecewise::{PiecewiseConfig, PiecewiseLinear};
+pub use registry::register;
 pub use snap::{ScaledNeural, ScaledNeuralConfig};

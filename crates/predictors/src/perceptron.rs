@@ -22,6 +22,7 @@ pub struct Perceptron {
     history: GlobalHistory,
     theta: i32,
     last_sum: i32,
+    name: String,
 }
 
 impl Perceptron {
@@ -43,6 +44,7 @@ impl Perceptron {
             // Optimal threshold from the perceptron paper.
             theta: (1.93 * history_len as f64 + 14.0) as i32,
             last_sum: 0,
+            name: format!("perceptron-{history_len}h"),
         }
     }
 
@@ -82,8 +84,8 @@ fn clamp_weight(w: &mut i8, delta: i32) {
 }
 
 impl ConditionalPredictor for Perceptron {
-    fn name(&self) -> String {
-        format!("perceptron-{}h", self.history_len)
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

@@ -60,6 +60,7 @@ pub struct PiecewiseLinear {
     theta: i32,
     last_sum: i32,
     last_indices: Vec<usize>,
+    name: String,
 }
 
 impl PiecewiseLinear {
@@ -82,6 +83,11 @@ impl PiecewiseLinear {
             theta: (2.14 * (config.history_len as f64 + 1.0) + 20.58) as i32,
             last_sum: 0,
             last_indices: vec![0; config.history_len],
+            name: if config.folded_hist {
+                format!("piecewise-{}h+fhist", config.history_len)
+            } else {
+                format!("piecewise-{}h", config.history_len)
+            },
         }
     }
 
@@ -136,12 +142,8 @@ fn clamp_weight(w: &mut i8, delta: i32) {
 }
 
 impl ConditionalPredictor for PiecewiseLinear {
-    fn name(&self) -> String {
-        if self.config.folded_hist {
-            format!("piecewise-{}h+fhist", self.config.history_len)
-        } else {
-            format!("piecewise-{}h", self.config.history_len)
-        }
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

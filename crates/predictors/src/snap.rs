@@ -86,6 +86,7 @@ pub struct ScaledNeural {
     last_sum: i32,
     last_indices: Vec<usize>,
     last_local_indices: Vec<usize>,
+    name: String,
 }
 
 impl ScaledNeural {
@@ -115,6 +116,7 @@ impl ScaledNeural {
             last_sum: 0,
             last_indices: vec![0; config.history_len],
             last_local_indices: vec![0; config.local_bits],
+            name: format!("oh-snap-{}h", config.history_len),
         }
     }
 
@@ -221,8 +223,8 @@ fn clamp_weight(w: &mut i8, delta: i32) {
 }
 
 impl ConditionalPredictor for ScaledNeural {
-    fn name(&self) -> String {
-        format!("oh-snap-{}h", self.config.history_len)
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

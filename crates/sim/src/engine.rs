@@ -1,0 +1,534 @@
+//! The parallel suite-sweep engine.
+//!
+//! Every figure of the paper is a (predictor-configuration × trace)
+//! cross-product. [`sweep`] schedules that whole matrix as independent
+//! jobs over a work queue serviced by scoped worker threads: each job
+//! builds a fresh predictor through the [`PredictorRegistry`], runs it
+//! over one shared trace (held behind `Arc<Trace>`, generated once by
+//! the [`SuiteRunner`]), and records the [`SimResult`] plus per-job wall
+//! time and windowed (interval) MPKI.
+//!
+//! Determinism: jobs are completely independent (fresh predictor, shared
+//! immutable trace) and results are reassembled in job-index order, so a
+//! parallel sweep produces **byte-identical** result documents to a
+//! serial one — [`SweepReport::results_json`] is independent of thread
+//! count and scheduling. Timing lives in a separate JSON section that
+//! [`SweepReport::to_json`] appends.
+//!
+//! ```
+//! use bfbp_sim::engine::{self, SweepOptions};
+//! use bfbp_sim::registry::{PredictorRegistry, PredictorSpec};
+//! use bfbp_sim::runner::SuiteRunner;
+//! use bfbp_trace::synth::suite;
+//!
+//! let registry = PredictorRegistry::with_builtins();
+//! let runner = SuiteRunner::from_specs(vec![suite::find("INT1").unwrap()], 0.01);
+//! let specs = [PredictorSpec::new("static-taken")];
+//! let report = engine::sweep(&registry, &specs, &runner, &SweepOptions::default()).unwrap();
+//! assert_eq!(report.results("static-taken").len(), 1);
+//! ```
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
+use crate::runner::SuiteRunner;
+use crate::simulate::{mean_mpki, simulate_with_intervals, IntervalPoint, SimResult};
+
+/// Tuning knobs for a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOptions {
+    /// Worker threads; `0` means all available cores.
+    pub threads: usize,
+    /// Window size (in committed instructions) for interval MPKI
+    /// collection; `0` disables interval collection.
+    pub interval_insts: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            interval_insts: 100_000,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// A single-threaded sweep (the reference serial schedule).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// One (predictor-config × trace) cell of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The simulation outcome.
+    pub result: SimResult,
+    /// Windowed MPKI samples (empty when interval collection is off).
+    pub intervals: Vec<IntervalPoint>,
+    /// Wall time for this job (predictor construction + simulation).
+    pub wall: Duration,
+}
+
+/// Per-series metadata recorded once per predictor spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesInfo {
+    /// Display label (spec label).
+    pub label: String,
+    /// Registered predictor name the series was built from.
+    pub predictor: String,
+    /// Effective parameters (registry defaults + overrides).
+    pub params: Params,
+    /// The predictor's self-reported name.
+    pub predictor_name: String,
+    /// Hardware budget of the configuration, in bytes.
+    pub storage_bytes: u64,
+}
+
+/// The complete outcome of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    series: Vec<SeriesInfo>,
+    trace_names: Vec<String>,
+    /// Series-major: `jobs[s * n_traces + t]`.
+    jobs: Vec<JobRecord>,
+    threads: usize,
+    wall: Duration,
+}
+
+impl SweepReport {
+    /// Series metadata in spec order.
+    pub fn series(&self) -> &[SeriesInfo] {
+        &self.series
+    }
+
+    /// Trace names in suite order.
+    pub fn trace_names(&self) -> &[String] {
+        &self.trace_names
+    }
+
+    /// All jobs, series-major then trace order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Per-trace results for the series with the given label (panics if
+    /// the label is unknown — labels come from the caller's own specs).
+    pub fn results(&self, label: &str) -> Vec<SimResult> {
+        let s = self
+            .series
+            .iter()
+            .position(|info| info.label == label)
+            .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"));
+        let t = self.trace_names.len();
+        self.jobs[s * t..(s + 1) * t]
+            .iter()
+            .map(|j| j.result.clone())
+            .collect()
+    }
+
+    /// `(label, per-trace results)` for every series, in spec order.
+    pub fn all_results(&self) -> Vec<(String, Vec<SimResult>)> {
+        self.series
+            .iter()
+            .map(|info| (info.label.clone(), self.results(&info.label)))
+            .collect()
+    }
+
+    /// Arithmetic-mean MPKI of one series.
+    pub fn mean_mpki(&self, label: &str) -> f64 {
+        mean_mpki(&self.results(label))
+    }
+
+    /// Worker threads the sweep ran with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// End-to-end wall time of the sweep.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Sum of per-job wall times — the work a serial run would do.
+    pub fn cpu(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+
+    /// Observed parallel speedup: total job time over wall time.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.cpu().as_secs_f64() / wall
+    }
+
+    fn render_json(&self, with_timing: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"bfbp-sweep/1\",\n  \"traces\": [");
+        for (i, name) in self.trace_names.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(name));
+        }
+        out.push_str("],\n  \"series\": [\n");
+        let t = self.trace_names.len();
+        for (s, info) in self.series.iter().enumerate() {
+            let rows = &self.jobs[s * t..(s + 1) * t];
+            out.push_str("    {\"label\": ");
+            out.push_str(&json_string(&info.label));
+            out.push_str(", \"predictor\": ");
+            out.push_str(&json_string(&info.predictor));
+            out.push_str(", \"predictor_name\": ");
+            out.push_str(&json_string(&info.predictor_name));
+            out.push_str(&format!(", \"storage_bytes\": {}", info.storage_bytes));
+            out.push_str(", \"params\": {");
+            for (i, (key, value)) in info.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_string(key));
+                out.push_str(": ");
+                out.push_str(&value.to_json());
+            }
+            out.push_str("},\n");
+            let results: Vec<SimResult> = rows.iter().map(|j| j.result.clone()).collect();
+            out.push_str(&format!(
+                "     \"mean_mpki\": {},\n     \"results\": [\n",
+                json_f64(mean_mpki(&results))
+            ));
+            for (i, job) in rows.iter().enumerate() {
+                let r = &job.result;
+                out.push_str(&format!(
+                    "      {{\"trace\": {}, \"conditional_branches\": {}, \"mispredictions\": {}, \"instructions\": {}, \"mpki\": {}, \"intervals\": [",
+                    json_string(r.trace_name()),
+                    r.conditional_branches(),
+                    r.mispredictions(),
+                    r.instructions(),
+                    json_f64(r.mpki()),
+                ));
+                for (k, iv) in job.intervals.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "[{}, {}, {}]",
+                        iv.instructions, iv.mispredictions,
+                        json_f64(iv.mpki())
+                    ));
+                }
+                out.push_str("]}");
+                out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("     ]}");
+            out.push_str(if s + 1 < self.series.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        if with_timing {
+            out.push_str(&format!(",\n  \"threads\": {}", self.threads));
+            out.push_str(&format!(
+                ",\n  \"timing\": {{\"wall_ms\": {}, \"cpu_ms\": {}, \"parallel_speedup\": {}, \"jobs_ms\": [",
+                json_f64(self.wall.as_secs_f64() * 1e3),
+                json_f64(self.cpu().as_secs_f64() * 1e3),
+                json_f64(self.speedup()),
+            ));
+            for s in 0..self.series.len() {
+                if s > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (i, job) in self.jobs[s * t..(s + 1) * t].iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&json_f64(job.wall.as_secs_f64() * 1e3));
+                }
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The deterministic results document: independent of thread count
+    /// and scheduling (no timing fields). A parallel sweep and a serial
+    /// sweep of the same matrix produce byte-identical output.
+    pub fn results_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// The full machine-readable document: results plus the timing
+    /// section (`wall_ms`, `cpu_ms`, `parallel_speedup`, per-job times).
+    pub fn to_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    /// Writes [`SweepReport::to_json`] to `<results-dir>/<run>.json`,
+    /// creating the directory. The directory is `$BFBP_RESULTS_DIR` when
+    /// set, else `target/results`. Returns the written path.
+    pub fn write_json(&self, run: &str) -> io::Result<PathBuf> {
+        let dir = std::env::var("BFBP_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target").join("results"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{run}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// Runs the full (spec × trace) matrix in parallel and reassembles
+/// deterministic per-series results.
+///
+/// All specs are validated (built once) up front, so an unknown
+/// predictor or bad parameter fails before any simulation starts.
+pub fn sweep(
+    registry: &PredictorRegistry,
+    specs: &[PredictorSpec],
+    runner: &SuiteRunner,
+    options: &SweepOptions,
+) -> Result<SweepReport, BuildError> {
+    let start = Instant::now();
+    let mut series = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let probe = registry.build_spec(spec)?;
+        series.push(SeriesInfo {
+            label: spec.label(),
+            predictor: spec.predictor().to_owned(),
+            params: registry.effective_params(spec)?,
+            predictor_name: probe.name().into_owned(),
+            storage_bytes: probe.storage().total_bytes(),
+        });
+    }
+
+    let traces = runner.traces();
+    let trace_names: Vec<String> = traces.iter().map(|t| t.name().to_owned()).collect();
+    let n_traces = traces.len();
+    let n_jobs = specs.len() * n_traces;
+
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        options.threads
+    }
+    .min(n_jobs.max(1));
+
+    let run_job = |job: usize| -> JobRecord {
+        let spec = &specs[job / n_traces];
+        let trace = traces[job % n_traces].clone(); // Arc clone, trace shared
+        let job_start = Instant::now();
+        let mut predictor = registry
+            .build_spec(spec)
+            .expect("spec validated before sweep started");
+        let (result, intervals) =
+            simulate_with_intervals(predictor.as_mut(), &trace, options.interval_insts);
+        JobRecord {
+            result,
+            intervals,
+            wall: job_start.elapsed(),
+        }
+    };
+
+    let jobs: Vec<JobRecord> = if threads <= 1 {
+        (0..n_jobs).map(run_job).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<JobRecord>>> = Mutex::new(vec![None; n_jobs]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let job = next.fetch_add(1, Ordering::Relaxed);
+                    if job >= n_jobs {
+                        break;
+                    }
+                    let record = run_job(job);
+                    slots.lock().expect("no poisoned sweep worker")[job] = Some(record);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("no poisoned sweep worker")
+            .into_iter()
+            .map(|slot| slot.expect("every job index claimed exactly once"))
+            .collect()
+    };
+
+    Ok(SweepReport {
+        series,
+        trace_names,
+        jobs,
+        threads,
+        wall: start.elapsed(),
+    })
+}
+
+/// [`sweep`] pinned to one worker thread — the reference schedule.
+pub fn sweep_serial(
+    registry: &PredictorRegistry,
+    specs: &[PredictorSpec],
+    runner: &SuiteRunner,
+) -> Result<SweepReport, BuildError> {
+    sweep(registry, specs, runner, &SweepOptions::serial())
+}
+
+/// Renders a JSON string literal (quoted, escaped).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values).
+/// Rust's shortest-roundtrip `Display` never uses exponent notation, so
+/// the output is always a valid JSON literal and deterministic.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        let mut s = x.to_string();
+        if !s.contains('.') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfbp_trace::synth::suite;
+
+    fn tiny_runner() -> SuiteRunner {
+        SuiteRunner::from_specs(
+            vec![suite::find("INT1").unwrap(), suite::find("MM2").unwrap()],
+            0.005,
+        )
+    }
+
+    fn two_specs() -> Vec<PredictorSpec> {
+        vec![
+            PredictorSpec::new("static-taken").labeled("T"),
+            PredictorSpec::new("static-not-taken").labeled("NT"),
+        ]
+    }
+
+    #[test]
+    fn sweep_covers_the_matrix_in_order() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let report =
+            sweep(&registry, &two_specs(), &runner, &SweepOptions::default()).unwrap();
+        assert_eq!(report.jobs().len(), 4);
+        assert_eq!(report.trace_names(), &["INT1".to_owned(), "MM2".to_owned()]);
+        let t = report.results("T");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].trace_name(), "INT1");
+        assert_eq!(t[1].trace_name(), "MM2");
+        // Complementary predictors partition the mispredictions.
+        let nt = report.results("NT");
+        for (a, b) in t.iter().zip(&nt) {
+            assert_eq!(
+                a.mispredictions() + b.mispredictions(),
+                a.conditional_branches()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_results_json_is_byte_identical_to_serial() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let specs = two_specs();
+        let serial = sweep_serial(&registry, &specs, &runner).unwrap();
+        let parallel = sweep(
+            &registry,
+            &specs,
+            &runner,
+            &SweepOptions::default().with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(serial.threads(), 1);
+        assert_eq!(parallel.threads(), 4);
+        assert_eq!(serial.results_json(), parallel.results_json());
+    }
+
+    #[test]
+    fn unknown_spec_fails_before_simulating() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let specs = [PredictorSpec::new("no-such-predictor")];
+        assert!(matches!(
+            sweep(&registry, &specs, &runner, &SweepOptions::default()),
+            Err(BuildError::UnknownPredictor { .. })
+        ));
+    }
+
+    #[test]
+    fn timing_fields_present_only_in_full_json() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let report = sweep_serial(&registry, &two_specs(), &runner).unwrap();
+        let results = report.results_json();
+        let full = report.to_json();
+        assert!(!results.contains("\"timing\""));
+        assert!(full.contains("\"timing\""));
+        assert!(full.contains("\"parallel_speedup\""));
+        assert!(full.contains("\"wall_ms\""));
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn intervals_cover_the_whole_trace() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let options = SweepOptions {
+            threads: 1,
+            interval_insts: 1000,
+        };
+        let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
+        for job in report.jobs() {
+            let total: u64 = job.intervals.iter().map(|iv| iv.instructions).sum();
+            assert_eq!(total, job.result.instructions());
+            let misp: u64 = job.intervals.iter().map(|iv| iv.mispredictions).sum();
+            assert_eq!(misp, job.result.mispredictions());
+        }
+    }
+
+    #[test]
+    fn json_helpers_escape_and_format() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(2.5), "2.5");
+        assert_eq!(json_f64(3.0), "3.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! Trace-driven branch-predictor simulation: the predictor trait (a Rust
 //! rendering of the CBP-4 simulation contract), the commit-order
-//! simulation loop with MPKI accounting, a suite runner, and hardware
-//! storage accounting.
+//! simulation loop with MPKI accounting, a suite runner, a predictor
+//! registry with a parallel sweep engine, and hardware storage
+//! accounting.
 //!
 //! ```
 //! use bfbp_sim::predictor::StaticPredictor;
@@ -19,11 +20,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod engine;
 pub mod predictor;
+pub mod registry;
 pub mod runner;
 pub mod simulate;
 pub mod storage;
 
+pub use engine::{sweep, sweep_serial, SweepOptions, SweepReport};
 pub use predictor::ConditionalPredictor;
-pub use simulate::{mean_mpki, simulate, SimResult};
+pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
+pub use simulate::{
+    mean_mpki, simulate, simulate_with_intervals, IntervalPoint, SimResult,
+};
 pub use storage::StorageBreakdown;

@@ -11,6 +11,8 @@
 //!    control transfers (calls, returns, jumps) so it can fold them into
 //!    path history, exactly as CBP's `TrackOtherInst` does.
 
+use std::borrow::Cow;
+
 use bfbp_trace::record::BranchRecord;
 
 use crate::storage::StorageBreakdown;
@@ -23,7 +25,11 @@ use crate::storage::StorageBreakdown;
 /// between the two calls.
 pub trait ConditionalPredictor {
     /// A short, stable, human-readable name (used in result tables).
-    fn name(&self) -> String;
+    ///
+    /// Returning `Cow` lets static configurations hand back a `&'static
+    /// str` and parameterized ones a reference to a name cached at
+    /// construction, so the hot simulation path never allocates here.
+    fn name(&self) -> Cow<'_, str>;
 
     /// Predicts the direction of the conditional branch at `pc`:
     /// `true` = taken.
@@ -68,12 +74,12 @@ impl StaticPredictor {
 }
 
 impl ConditionalPredictor for StaticPredictor {
-    fn name(&self) -> String {
-        if self.taken {
-            "static-taken".to_owned()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(if self.taken {
+            "static-taken"
         } else {
-            "static-not-taken".to_owned()
-        }
+            "static-not-taken"
+        })
     }
 
     fn predict(&mut self, _pc: u64) -> bool {

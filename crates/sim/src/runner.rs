@@ -3,19 +3,24 @@
 //!
 //! Trace generation is cheap relative to prediction but not free; every
 //! figure harness compares several predictors on the same traces, so the
-//! runner materializes each trace a single time.
+//! runner materializes each trace a single time. Traces are held behind
+//! `Arc` so the parallel [`engine`](crate::engine) can share them across
+//! worker threads without copying.
+
+use std::sync::Arc;
 
 use bfbp_trace::record::Trace;
 use bfbp_trace::synth::suite::{self, TraceSpec};
 
 use crate::predictor::ConditionalPredictor;
+use crate::registry::{BuildError, PredictorRegistry, PredictorSpec};
 use crate::simulate::{simulate, SimResult};
 
 /// Holds the generated benchmark traces and runs predictors over them.
 #[derive(Debug)]
 pub struct SuiteRunner {
     specs: Vec<TraceSpec>,
-    traces: Vec<Trace>,
+    traces: Vec<Arc<Trace>>,
 }
 
 impl SuiteRunner {
@@ -32,7 +37,7 @@ impl SuiteRunner {
             .iter()
             .map(|spec| {
                 let len = ((spec.default_len() as f64 * scale) as usize).max(1000);
-                spec.generate_len(len)
+                Arc::new(spec.generate_len(len))
             })
             .collect();
         Self { specs, traces }
@@ -43,13 +48,20 @@ impl SuiteRunner {
         &self.specs
     }
 
-    /// The generated traces, parallel to [`SuiteRunner::specs`].
-    pub fn traces(&self) -> &[Trace] {
+    /// The generated traces, parallel to [`SuiteRunner::specs`]. Shared
+    /// (`Arc`) so sweep workers can borrow them across threads.
+    pub fn traces(&self) -> &[Arc<Trace>] {
         &self.traces
     }
 
     /// Runs a fresh predictor (built by `factory`) over every trace,
     /// returning per-trace results in suite order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build predictors through the PredictorRegistry and use \
+                engine::sweep (or SuiteRunner::run_spec) instead of ad-hoc \
+                factory closures"
+    )]
     pub fn run<F>(&self, mut factory: F) -> Vec<SimResult>
     where
         F: FnMut(&TraceSpec) -> Box<dyn ConditionalPredictor>,
@@ -62,6 +74,29 @@ impl SuiteRunner {
                 simulate(predictor.as_mut(), trace)
             })
             .collect()
+    }
+
+    /// Runs one registry-built configuration over every trace, building a
+    /// fresh predictor per trace, returning per-trace results in suite
+    /// order. This is the serial, single-spec slice of
+    /// [`engine::sweep`](crate::engine::sweep).
+    pub fn run_spec(
+        &self,
+        registry: &PredictorRegistry,
+        spec: &PredictorSpec,
+    ) -> Result<Vec<SimResult>, BuildError> {
+        // Validate once up front so an error can't surface mid-suite.
+        registry.build_spec(spec)?;
+        Ok(self
+            .traces
+            .iter()
+            .map(|trace| {
+                let mut predictor = registry
+                    .build_spec(spec)
+                    .expect("spec validated before the suite run");
+                simulate(predictor.as_mut(), trace.as_ref())
+            })
+            .collect())
     }
 
     /// Runs a predictor over a single named trace; returns `None` if the
@@ -81,8 +116,16 @@ impl SuiteRunner {
 /// Figure harnesses use this so a quick smoke run (`BFBP_TRACE_SCALE=0.05`)
 /// needs no code change.
 pub fn env_scale(default: f64) -> f64 {
-    std::env::var("BFBP_TRACE_SCALE")
-        .ok()
+    env_scale_with(default, |name| std::env::var(name).ok())
+}
+
+/// [`env_scale`] with an injectable variable lookup, so tests can pin the
+/// environment instead of mutating the real (process-global, racy) one.
+pub fn env_scale_with<F>(default: f64, lookup: F) -> f64
+where
+    F: Fn(&str) -> Option<String>,
+{
+    lookup("BFBP_TRACE_SCALE")
         .and_then(|v| v.parse::<f64>().ok())
         .filter(|v| *v > 0.0)
         .unwrap_or(default)
@@ -110,6 +153,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn run_produces_one_result_per_trace() {
         let specs = vec![
             suite::find("SPEC00").unwrap(),
@@ -124,6 +168,32 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn run_spec_matches_deprecated_run() {
+        let specs = vec![
+            suite::find("SPEC00").unwrap(),
+            suite::find("MM2").unwrap(),
+        ];
+        let runner = SuiteRunner::from_specs(specs, 0.01);
+        let registry = PredictorRegistry::with_builtins();
+        let via_registry = runner
+            .run_spec(&registry, &PredictorSpec::new("static-taken"))
+            .unwrap();
+        let via_factory = runner.run(|_| Box::new(StaticPredictor::always_taken()));
+        assert_eq!(via_registry, via_factory);
+    }
+
+    #[test]
+    fn run_spec_rejects_unknown_names() {
+        let runner = SuiteRunner::from_specs(vec![suite::find("MM2").unwrap()], 0.01);
+        let registry = PredictorRegistry::with_builtins();
+        assert!(matches!(
+            runner.run_spec(&registry, &PredictorSpec::new("nope")),
+            Err(BuildError::UnknownPredictor { .. })
+        ));
+    }
+
+    #[test]
     fn run_one_finds_named_trace() {
         let runner = SuiteRunner::from_specs(vec![suite::find("INT3").unwrap()], 0.01);
         let mut p = StaticPredictor::always_taken();
@@ -132,9 +202,20 @@ mod tests {
     }
 
     #[test]
-    fn env_scale_defaults() {
-        // Not set in the test environment.
-        std::env::remove_var("BFBP_TRACE_SCALE");
-        assert_eq!(env_scale(0.5), 0.5);
+    fn env_scale_with_injected_lookup() {
+        // Unset → default.
+        assert_eq!(env_scale_with(0.5, |_| None), 0.5);
+        // Set → parsed.
+        assert_eq!(
+            env_scale_with(0.5, |name| {
+                assert_eq!(name, "BFBP_TRACE_SCALE");
+                Some("0.25".to_owned())
+            }),
+            0.25
+        );
+        // Malformed or non-positive → default.
+        assert_eq!(env_scale_with(0.5, |_| Some("zoom".to_owned())), 0.5);
+        assert_eq!(env_scale_with(0.5, |_| Some("-1".to_owned())), 0.5);
+        assert_eq!(env_scale_with(0.5, |_| Some("0".to_owned())), 0.5);
     }
 }

@@ -92,35 +92,95 @@ impl fmt::Display for SimResult {
     }
 }
 
+/// One window of a simulation: counts accumulated over (about)
+/// `interval_insts` committed instructions. Windowed MPKI exposes
+/// warm-up and phase behavior that a whole-trace average hides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalPoint {
+    /// Instructions committed in this window.
+    pub instructions: u64,
+    /// Conditional branches predicted in this window.
+    pub conditional_branches: u64,
+    /// Mispredictions in this window.
+    pub mispredictions: u64,
+}
+
+impl IntervalPoint {
+    /// Mispredictions per 1000 instructions within this window.
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        1000.0 * self.mispredictions as f64 / self.instructions as f64
+    }
+}
+
 /// Runs `predictor` over every record of `trace`, in commit order.
 ///
 /// Conditional records are predicted and then immediately used for
 /// training; other records are passed to
 /// [`ConditionalPredictor::track_other`].
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
+    simulate_with_intervals(predictor, trace, 0).0
+}
+
+/// [`simulate`], additionally collecting windowed counts every
+/// `interval_insts` committed instructions (`0` disables collection and
+/// returns an empty vector).
+///
+/// Window boundaries land on record boundaries, so a window may overrun
+/// `interval_insts` by at most one record; the final (possibly short)
+/// window is always emitted when any instructions remain. Summing the
+/// interval counts always reproduces the totals in the [`SimResult`].
+pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    interval_insts: u64,
+) -> (SimResult, Vec<IntervalPoint>) {
     let mut conditional_branches = 0u64;
     let mut mispredictions = 0u64;
     let mut instructions = 0u64;
+    let mut intervals = Vec::new();
+    let mut window = IntervalPoint {
+        instructions: 0,
+        conditional_branches: 0,
+        mispredictions: 0,
+    };
     for record in trace {
         instructions += record.instructions();
+        window.instructions += record.instructions();
         if record.kind.is_conditional() {
             conditional_branches += 1;
+            window.conditional_branches += 1;
             let guess = predictor.predict(record.pc);
             if guess != record.taken {
                 mispredictions += 1;
+                window.mispredictions += 1;
             }
             predictor.update(record.pc, record.taken, record.target);
         } else {
             predictor.track_other(record);
         }
+        if interval_insts > 0 && window.instructions >= interval_insts {
+            intervals.push(window);
+            window = IntervalPoint {
+                instructions: 0,
+                conditional_branches: 0,
+                mispredictions: 0,
+            };
+        }
     }
-    SimResult {
+    if interval_insts > 0 && window.instructions > 0 {
+        intervals.push(window);
+    }
+    let result = SimResult {
         trace_name: trace.name().to_owned(),
-        predictor_name: predictor.name(),
+        predictor_name: predictor.name().into_owned(),
         conditional_branches,
         mispredictions,
         instructions,
-    }
+    };
+    (result, intervals)
 }
 
 /// Runs `predictor` over a stream of records without collecting a trace
@@ -153,7 +213,7 @@ where
     }
     SimResult {
         trace_name: trace_name.to_owned(),
-        predictor_name: predictor.name(),
+        predictor_name: predictor.name().into_owned(),
         conditional_branches,
         mispredictions,
         instructions,
@@ -226,6 +286,34 @@ mod tests {
     }
 
     #[test]
+    fn intervals_sum_to_totals() {
+        let trace = trace_tnt();
+        let mut p = StaticPredictor::always_taken();
+        let (result, intervals) = simulate_with_intervals(&mut p, &trace, 10);
+        // 25 instructions in windows of >= 10: records of 5,5,10,5 insts
+        // close windows at 10 and 20, leaving a 5-inst tail.
+        assert_eq!(intervals.len(), 3);
+        assert_eq!(
+            intervals.iter().map(|iv| iv.instructions).sum::<u64>(),
+            result.instructions()
+        );
+        assert_eq!(
+            intervals.iter().map(|iv| iv.mispredictions).sum::<u64>(),
+            result.mispredictions()
+        );
+        assert_eq!(
+            intervals.iter().map(|iv| iv.conditional_branches).sum::<u64>(),
+            result.conditional_branches()
+        );
+
+        // interval_insts = 0 disables collection.
+        let mut p2 = StaticPredictor::always_taken();
+        let (r2, none) = simulate_with_intervals(&mut p2, &trace, 0);
+        assert_eq!(r2, result);
+        assert!(none.is_empty());
+    }
+
+    #[test]
     fn mean_mpki_averages() {
         let a = SimResult::from_counts("a", "p", 100, 10, 1000); // 10 MPKI
         let b = SimResult::from_counts("b", "p", 100, 30, 1000); // 30 MPKI
@@ -246,7 +334,7 @@ mod tests {
             tracked: usize,
         }
         impl ConditionalPredictor for Counter {
-            fn name(&self) -> String {
+            fn name(&self) -> std::borrow::Cow<'_, str> {
                 "counter".into()
             }
             fn predict(&mut self, _: u64) -> bool {

@@ -114,6 +114,7 @@ impl TageEngine for Tage {
 #[derive(Debug, Clone)]
 pub struct Isl<T> {
     tage: T,
+    name: String,
     loop_pred: LoopPredictor,
     sc: StatisticalCorrector,
     sc_enabled: bool,
@@ -128,6 +129,7 @@ impl<T: TageEngine> Isl<T> {
     /// loop predictor and a statistical corrector.
     pub fn new(tage: T) -> Self {
         Self {
+            name: format!("isl-{}", tage.name()),
             tage,
             loop_pred: LoopPredictor::paper_64_entry(),
             sc: StatisticalCorrector::new(12),
@@ -162,8 +164,8 @@ impl<T: TageEngine> Isl<T> {
 }
 
 impl<T: TageEngine> ConditionalPredictor for Isl<T> {
-    fn name(&self) -> String {
-        format!("isl-{}", self.tage.name())
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

@@ -29,10 +29,12 @@
 
 pub mod config;
 pub mod isl;
+pub mod registry;
 pub mod table;
 pub mod tage;
 
 pub use config::{TageConfig, BIAS_FREE_LENGTHS_10, CONVENTIONAL_LENGTHS_15};
 pub use isl::{isl_tage, Isl, IslTage, StatisticalCorrector, TageEngine};
+pub use registry::register;
 pub use table::{TaggedEntry, TaggedTable};
 pub use tage::{ProviderStats, Tage, TageCore};

@@ -1,0 +1,86 @@
+//! Registry hooks: registers the conventional-history TAGE baselines
+//! with a [`PredictorRegistry`].
+
+use bfbp_sim::registry::{BuildError, Params, PredictorRegistry};
+
+use crate::config::TageConfig;
+use crate::isl::Isl;
+use crate::tage::Tage;
+
+fn conventional_config(params: &Params) -> Result<TageConfig, BuildError> {
+    let tables = params.usize("tables")?;
+    TageConfig::conventional(tables)
+        .map_err(|e| BuildError::invalid("tables", e.to_string()))
+}
+
+/// Registers `tage` (conventional TAGE, default 10 tagged tables) and
+/// `isl-tage` (TAGE + loop predictor, optional statistical corrector,
+/// default 15 tables as in the paper's Figure 8 baseline).
+///
+/// # Panics
+///
+/// Panics if either name is already registered.
+pub fn register(registry: &mut PredictorRegistry) {
+    registry.register(
+        "tage",
+        "conventional TAGE over raw global history",
+        Params::new().set("tables", 10usize),
+        |p| Ok(Box::new(Tage::new(&conventional_config(p)?))),
+    );
+    registry.register(
+        "isl-tage",
+        "ISL-TAGE: TAGE + loop predictor + statistical corrector (sc=false drops the SC)",
+        Params::new().set("tables", 15usize).set("sc", true),
+        |p| {
+            let tage = Tage::new(&conventional_config(p)?);
+            Ok(Box::new(if p.bool("sc")? {
+                Isl::new(tage)
+            } else {
+                Isl::without_sc(tage)
+            }))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> PredictorRegistry {
+        let mut r = PredictorRegistry::new();
+        register(&mut r);
+        r
+    }
+
+    #[test]
+    fn defaults_build_the_paper_baselines() {
+        let r = registry();
+        let tage = r.build("tage", &Params::new()).unwrap();
+        assert_eq!(tage.name(), "tage-10t");
+        let isl = r.build("isl-tage", &Params::new()).unwrap();
+        assert_eq!(isl.name(), "isl-tage-15t");
+        assert!(isl.storage().total_bits() > 0);
+    }
+
+    #[test]
+    fn table_count_is_validated() {
+        let r = registry();
+        assert!(r.build("tage", &Params::new().set("tables", 3usize)).is_err());
+        assert!(r
+            .build("isl-tage", &Params::new().set("tables", 99usize))
+            .is_err());
+    }
+
+    #[test]
+    fn sc_flag_switches_composition() {
+        let r = registry();
+        let with_sc = r.build("isl-tage", &Params::new()).unwrap();
+        let without = r
+            .build("isl-tage", &Params::new().set("sc", false))
+            .unwrap();
+        // Same name either way (composition, not geometry), but the SC's
+        // table disappears from the storage breakdown.
+        assert_eq!(with_sc.name(), without.name());
+        assert!(with_sc.storage().total_bits() > without.storage().total_bits());
+    }
+}

@@ -311,6 +311,7 @@ pub struct Tage {
     history: ManagedHistory,
     path: PathHistory,
     n_tables: usize,
+    name: String,
 }
 
 impl Tage {
@@ -329,6 +330,7 @@ impl Tage {
             history: ManagedHistory::new(capacity, &fold_specs),
             path: PathHistory::new(config.path_bits),
             n_tables: config.tables.len(),
+            name: format!("tage-{}t", config.tables.len()),
         }
     }
 
@@ -377,8 +379,8 @@ impl Tage {
 }
 
 impl ConditionalPredictor for Tage {
-    fn name(&self) -> String {
-        format!("tage-{}t", self.n_tables)
+    fn name(&self) -> std::borrow::Cow<'_, str> {
+        std::borrow::Cow::Borrowed(&self.name)
     }
 
     fn predict(&mut self, pc: u64) -> bool {

@@ -15,15 +15,20 @@
 //!
 //! ## Quick start
 //!
+//! Predictors are built by name through the workspace-wide registry and
+//! swept over the synthetic suite by the parallel engine:
+//!
 //! ```
-//! use bfbp::core::bf_neural::BfNeural;
-//! use bfbp::sim::simulate::simulate;
+//! use bfbp::sim::engine::{self, SweepOptions};
+//! use bfbp::sim::registry::PredictorSpec;
+//! use bfbp::sim::runner::SuiteRunner;
 //! use bfbp::trace::synth::suite;
 //!
-//! let trace = suite::find("SPEC03").expect("in suite").generate_len(10_000);
-//! let mut bf = BfNeural::budget_64kb();
-//! let result = simulate(&mut bf, &trace);
-//! println!("{result}");
+//! let registry = bfbp::default_registry();
+//! let runner = SuiteRunner::from_specs(vec![suite::find("SPEC03").unwrap()], 0.01);
+//! let specs = [PredictorSpec::new("bf-neural")];
+//! let report = engine::sweep(&registry, &specs, &runner, &SweepOptions::default()).unwrap();
+//! println!("{:.3} MPKI", report.mean_mpki("bf-neural"));
 //! ```
 
 pub use bfbp_core as core;
@@ -31,3 +36,17 @@ pub use bfbp_predictors as predictors;
 pub use bfbp_sim as sim;
 pub use bfbp_tage as tage;
 pub use bfbp_trace as trace;
+
+use bfbp_sim::registry::PredictorRegistry;
+
+/// The registry of every predictor in the workspace: the trivial static
+/// baselines plus everything registered by [`predictors`], [`tage`], and
+/// [`core`]. Build one once and share it (`&` is enough — builders are
+/// `Send + Sync`) across sweep threads.
+pub fn default_registry() -> PredictorRegistry {
+    let mut registry = PredictorRegistry::with_builtins();
+    bfbp_predictors::register(&mut registry);
+    bfbp_tage::register(&mut registry);
+    bfbp_core::register(&mut registry);
+    registry
+}

@@ -70,7 +70,7 @@ fn predictors_recover_from_phase_change() {
         Box::new(Tage::with_tables(10)),
     ];
     for mut p in predictors {
-        let name = p.name();
+        let name = p.name().into_owned();
         let r = simulate(p.as_mut(), &trace);
         assert!(
             r.mispredictions() < 60,

@@ -2,27 +2,43 @@
 //! scale. These assert *orderings and directions* — who wins, roughly
 //! where — not absolute MPKI values (see EXPERIMENTS.md for the
 //! full-scale numbers).
+//!
+//! Predictors are built by name through [`bfbp::default_registry`] and
+//! executed by the parallel sweep engine, the same path the figure
+//! binaries use.
 
-use bfbp::core::bf_neural::{BfNeural, BfNeuralConfig};
-use bfbp::predictors::piecewise::PiecewiseLinear;
-use bfbp::predictors::snap::ScaledNeural;
+use bfbp::sim::engine::{sweep, SweepOptions, SweepReport};
+use bfbp::sim::registry::PredictorSpec;
 use bfbp::sim::runner::SuiteRunner;
-use bfbp::sim::simulate::mean_mpki;
-use bfbp::tage::isl::isl_tage;
 use bfbp_bench::experiments;
 
 /// A scale that keeps the whole file under ~2 minutes on one core while
 /// still letting predictors warm up.
 const SCALE: f64 = 0.2;
 
+fn run(runner: &SuiteRunner, specs: &[PredictorSpec]) -> SweepReport {
+    let registry = bfbp::default_registry();
+    sweep(&registry, specs, runner, &SweepOptions::default()).expect("specs build")
+}
+
 #[test]
 fn bf_neural_beats_the_neural_baselines() {
     // Figure 8's neural story: BF-Neural < OH-SNAP; both < nothing. The
     // conventional piecewise-linear (Figure 9 bar 1) is worst.
     let runner = SuiteRunner::generate(SCALE);
-    let pwl = mean_mpki(&runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb())));
-    let snap = mean_mpki(&runner.run(|_| Box::new(ScaledNeural::budget_64kb())));
-    let bf = mean_mpki(&runner.run(|_| Box::new(BfNeural::budget_64kb())));
+    let report = run(
+        &runner,
+        &[
+            PredictorSpec::new("piecewise"),
+            PredictorSpec::new("oh-snap"),
+            PredictorSpec::new("bf-neural"),
+        ],
+    );
+    let (pwl, snap, bf) = (
+        report.mean_mpki("piecewise"),
+        report.mean_mpki("oh-snap"),
+        report.mean_mpki("bf-neural"),
+    );
     assert!(
         bf < snap,
         "BF-Neural ({bf:.3}) must beat OH-SNAP ({snap:.3})"
@@ -38,8 +54,14 @@ fn bf_neural_is_comparable_to_tage() {
     // Figure 8: "provides accuracies comparable to that of TAGE"
     // (within ±15% at reduced scale).
     let runner = SuiteRunner::generate(SCALE);
-    let tage = mean_mpki(&runner.run(|_| Box::new(isl_tage(15))));
-    let bf = mean_mpki(&runner.run(|_| Box::new(BfNeural::budget_64kb())));
+    let report = run(
+        &runner,
+        &[
+            PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("tage"),
+            PredictorSpec::new("bf-neural"),
+        ],
+    );
+    let (tage, bf) = (report.mean_mpki("tage"), report.mean_mpki("bf-neural"));
     let ratio = bf / tage;
     assert!(
         (0.7..1.15).contains(&ratio),
@@ -52,13 +74,21 @@ fn ablation_bias_filtering_helps() {
     // Figure 9's first two steps: BST gating + fhist improves on the
     // conventional perceptron, and bias-free history improves again.
     let runner = SuiteRunner::generate(SCALE);
-    let conv = mean_mpki(&runner.run(|_| Box::new(PiecewiseLinear::conventional_64kb())));
-    let fhist = mean_mpki(&runner.run(|_| {
-        Box::new(BfNeural::new(BfNeuralConfig::ablation_fhist()))
-    }));
-    let bias_free = mean_mpki(&runner.run(|_| {
-        Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()))
-    }));
+    let report = run(
+        &runner,
+        &[
+            PredictorSpec::new("piecewise"),
+            PredictorSpec::new("bf-neural")
+                .with("history-mode", "unfiltered")
+                .labeled("fhist"),
+            PredictorSpec::new("bf-neural")
+                .with("history-mode", "bias-filtered")
+                .labeled("bias-free"),
+        ],
+    );
+    let conv = report.mean_mpki("piecewise");
+    let fhist = report.mean_mpki("fhist");
+    let bias_free = report.mean_mpki("bias-free");
     assert!(
         fhist < conv,
         "fhist bar ({fhist:.3}) must improve on conventional ({conv:.3})"
@@ -78,12 +108,17 @@ fn recency_stack_wins_on_its_target_traces() {
         .map(|n| bfbp::trace::synth::suite::find(n).expect("trace"))
         .collect();
     let runner = SuiteRunner::from_specs(specs, 0.5);
-    let without_rs = mean_mpki(&runner.run(|_| {
-        Box::new(BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()))
-    }));
-    let with_rs = mean_mpki(&runner.run(|_| {
-        Box::new(BfNeural::new(BfNeuralConfig::ablation_recency_stack()))
-    }));
+    let report = run(
+        &runner,
+        &[
+            PredictorSpec::new("bf-neural")
+                .with("history-mode", "bias-filtered")
+                .labeled("without-rs"),
+            PredictorSpec::new("bf-neural").labeled("with-rs"),
+        ],
+    );
+    let without_rs = report.mean_mpki("without-rs");
+    let with_rs = report.mean_mpki("with-rs");
     assert!(
         with_rs < without_rs,
         "RS ({with_rs:.3}) must beat bias-filtered-only ({without_rs:.3}) on SPEC03/14/18"
@@ -98,8 +133,14 @@ fn fifteen_tables_beat_ten_on_long_history_traces() {
         .map(|n| bfbp::trace::synth::suite::find(n).expect("trace"))
         .collect();
     let runner = SuiteRunner::from_specs(specs, 0.5);
-    let t10 = mean_mpki(&runner.run(|_| Box::new(isl_tage(10))));
-    let t15 = mean_mpki(&runner.run(|_| Box::new(isl_tage(15))));
+    let report = run(
+        &runner,
+        &[
+            PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("t10"),
+            PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("t15"),
+        ],
+    );
+    let (t10, t15) = (report.mean_mpki("t10"), report.mean_mpki("t15"));
     assert!(
         t15 < t10,
         "TAGE-15 ({t15:.3}) must beat TAGE-10 ({t10:.3}) on long-history traces"

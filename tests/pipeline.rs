@@ -8,6 +8,7 @@ use bfbp::core::bf_neural::BfNeural;
 use bfbp::core::bf_tage::bf_isl_tage;
 use bfbp::predictors::piecewise::PiecewiseLinear;
 use bfbp::sim::predictor::ConditionalPredictor;
+use bfbp::sim::registry::PredictorSpec;
 use bfbp::sim::runner::SuiteRunner;
 use bfbp::sim::simulate::{simulate, simulate_stream};
 use bfbp::tage::isl::isl_tage;
@@ -52,18 +53,17 @@ fn simulation_is_deterministic_across_runs() {
 
 #[test]
 fn every_suite_trace_runs_through_every_headline_predictor() {
+    let registry = bfbp::default_registry();
     let runner = SuiteRunner::generate(0.01);
-    type Factory = fn() -> Box<dyn ConditionalPredictor>;
-    let factories: Vec<(&str, Factory)> = vec![
-        ("piecewise", || {
-            Box::new(PiecewiseLinear::conventional_64kb())
-        }),
-        ("bf-neural", || Box::new(BfNeural::budget_64kb())),
-        ("isl-tage-10", || Box::new(isl_tage(10))),
-        ("bf-isl-tage-10", || Box::new(bf_isl_tage(10))),
+    let specs = [
+        PredictorSpec::new("piecewise"),
+        PredictorSpec::new("bf-neural"),
+        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("isl-tage-10"),
+        PredictorSpec::new("bf-isl-tage").labeled("bf-isl-tage-10"),
     ];
-    for (name, make) in factories {
-        let results = runner.run(|_| make());
+    for spec in specs {
+        let name = spec.label();
+        let results = runner.run_spec(&registry, &spec).expect("spec builds");
         assert_eq!(results.len(), 40, "{name} must cover the whole suite");
         for r in &results {
             assert!(

@@ -1,12 +1,13 @@
-//! Property-based tests (proptest) for the core data structures and
+//! Randomized property tests for the core data structures and
 //! invariants: trace-format roundtrips, recency-stack invariants, BST
 //! FSM equivalence against a reference model, folded-history consistency,
 //! history-register semantics, and BF-GHR bounds.
+//!
+//! Uses the workspace's own deterministic [`Xoshiro256`] generator, so
+//! every case is reproducible from its printed seed.
 
 use std::collections::HashMap;
 use std::io::Cursor;
-
-use proptest::prelude::*;
 
 use bfbp::core::bf_ghr::BfGhr;
 use bfbp::core::bst::{BranchStatus, Bst};
@@ -15,109 +16,111 @@ use bfbp::predictors::counter::{CounterTable, SatCounter};
 use bfbp::predictors::history::{GlobalHistory, ManagedHistory};
 use bfbp::trace::format::{read_trace, write_trace};
 use bfbp::trace::record::{BranchKind, BranchRecord, Trace};
+use bfbp::trace::rng::Xoshiro256;
 
-fn arb_record() -> impl Strategy<Value = BranchRecord> {
-    (
-        any::<u64>(),
-        any::<u64>(),
-        0u8..6,
-        any::<bool>(),
-        0u32..10_000,
-    )
-        .prop_map(|(pc, target, kind, taken, insts)| {
-            let kind = BranchKind::from_u8(kind).expect("0..6 are valid kinds");
-            BranchRecord {
-                pc,
-                target,
-                kind,
-                taken: if kind.is_conditional() { taken } else { true },
-                non_branch_insts: insts,
-            }
-        })
+fn rand_record(rng: &mut Xoshiro256) -> BranchRecord {
+    let kind = BranchKind::from_u8(rng.below(6) as u8).expect("0..6 are valid kinds");
+    BranchRecord {
+        pc: rng.next_u64(),
+        target: rng.next_u64(),
+        kind,
+        taken: !kind.is_conditional() || rng.chance(0.5),
+        non_branch_insts: rng.below(10_000) as u32,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn rand_records(rng: &mut Xoshiro256, lo: u64, hi: u64) -> Vec<BranchRecord> {
+    let n = rng.range_inclusive(lo, hi) as usize;
+    (0..n).map(|_| rand_record(rng)).collect()
+}
 
-    #[test]
-    fn trace_format_roundtrips_any_records(
-        name in "[a-zA-Z0-9 _-]{0,40}",
-        records in prop::collection::vec(arb_record(), 0..200),
-    ) {
-        let trace = Trace::new(name, records);
+#[test]
+fn trace_format_roundtrips_any_records() {
+    const NAME_CHARS: &[u8] = b"abcXYZ019 _-";
+    for seed in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let name: String = (0..rng.below(41))
+            .map(|_| *rng.pick(NAME_CHARS) as char)
+            .collect();
+        let trace = Trace::new(name, rand_records(&mut rng, 0, 200));
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).expect("write");
         let back = read_trace(Cursor::new(&buf)).expect("read");
-        prop_assert_eq!(back, trace);
+        assert_eq!(back, trace, "seed {seed}");
     }
+}
 
-    #[test]
-    fn trace_format_rejects_any_single_bitflip(
-        records in prop::collection::vec(arb_record(), 1..50),
-        flip_seed in any::<u64>(),
-    ) {
-        let trace = Trace::new("t", records);
+#[test]
+fn trace_format_rejects_any_single_bitflip() {
+    for seed in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let trace = Trace::new("t", rand_records(&mut rng, 1, 50));
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).expect("write");
         // Flip one bit somewhere in the body or footer (past the magic
         // and version, which have their own checks).
-        let pos = 6 + (flip_seed as usize % (buf.len() - 6));
-        let bit = (flip_seed >> 32) % 8;
+        let pos = 6 + rng.below((buf.len() - 6) as u64) as usize;
+        let bit = rng.below(8);
         buf[pos] ^= 1 << bit;
         // Must fail loudly — either a parse error or a checksum/count
         // mismatch — or, if the flip landed in the name length/content,
         // produce a different name; silent identical success is a bug.
         if let Ok(back) = read_trace(Cursor::new(&buf)) {
-            prop_assert_ne!(back, trace, "corruption must not go unnoticed");
+            assert_ne!(back, trace, "seed {seed}: corruption went unnoticed");
         }
     }
+}
 
-    #[test]
-    fn recency_stack_invariants_hold(
-        ops in prop::collection::vec((0u64..24, any::<bool>()), 1..300),
-        capacity in 1usize..16,
-    ) {
+#[test]
+fn recency_stack_invariants_hold() {
+    for seed in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let capacity = rng.range_inclusive(1, 15) as usize;
+        let n_ops = rng.range_inclusive(1, 300) as usize;
         let mut rs = RecencyStack::new(capacity);
         let mut last_seen: HashMap<u64, (u64, bool)> = HashMap::new();
-        for (now, (key, outcome)) in ops.into_iter().enumerate() {
-            let now = now as u64;
+        for now in 0..n_ops as u64 {
+            let key = rng.below(24);
+            let outcome = rng.chance(0.5);
             rs.record(key, outcome, now);
             last_seen.insert(key, (now, outcome));
 
             // Size bounded by capacity.
-            prop_assert!(rs.len() <= capacity);
+            assert!(rs.len() <= capacity);
             // No duplicate keys.
             let mut keys: Vec<u64> = rs.iter().map(|e| e.key).collect();
             keys.sort_unstable();
             keys.dedup();
-            prop_assert_eq!(keys.len(), rs.len());
+            assert_eq!(keys.len(), rs.len());
             // Births strictly decreasing top to bottom (recency order).
             let births: Vec<u64> = rs.iter().map(|e| e.birth).collect();
             for w in births.windows(2) {
-                prop_assert!(w[0] > w[1]);
+                assert!(w[0] > w[1], "seed {seed}");
             }
             // Every entry reflects the latest occurrence of its key.
             for e in rs.iter() {
                 let (birth, outcome) = last_seen[&e.key];
-                prop_assert_eq!(e.birth, birth);
-                prop_assert_eq!(e.outcome, outcome);
+                assert_eq!(e.birth, birth);
+                assert_eq!(e.outcome, outcome);
             }
             // The most recent key is always on top.
-            prop_assert_eq!(rs.iter().next().unwrap().key, key);
+            assert_eq!(rs.iter().next().unwrap().key, key);
         }
     }
+}
 
-    #[test]
-    fn bst_matches_reference_model(
-        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..400),
-    ) {
+#[test]
+fn bst_matches_reference_model() {
+    for seed in 0..32u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         // Reference: per-PC "seen taken / seen not-taken" sets. The BST
         // is large enough here that no aliasing occurs (64 PCs, 2^10
         // entries, distinct low bits).
         let mut bst = Bst::new(10);
         let mut seen: HashMap<u64, (bool, bool)> = HashMap::new();
-        for (pc_low, taken) in ops {
-            let pc = pc_low << 2; // distinct table slots
+        for _ in 0..rng.range_inclusive(1, 400) {
+            let pc = rng.below(64) << 2; // distinct table slots
+            let taken = rng.chance(0.5);
             let e = seen.entry(pc).or_insert((false, false));
             if taken {
                 e.0 = true;
@@ -131,32 +134,39 @@ proptest! {
                 (false, true) => BranchStatus::NotTaken,
                 (false, false) => unreachable!("at least one direction seen"),
             };
-            prop_assert_eq!(status, expected);
-            prop_assert_eq!(bst.status(pc), expected);
+            assert_eq!(status, expected, "seed {seed}");
+            assert_eq!(bst.status(pc), expected, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn folded_history_equals_recompute(
-        bits in prop::collection::vec(any::<bool>(), 1..500),
-        olen in 1usize..200,
-        clen in 1usize..20,
-    ) {
+#[test]
+fn folded_history_equals_recompute() {
+    for seed in 0..64u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let olen = rng.range_inclusive(1, 199) as usize;
+        let clen = rng.range_inclusive(1, 19) as usize;
         let mut m = ManagedHistory::new(256, &[(olen.min(256), clen)]);
-        for b in bits {
-            m.push(b);
-            prop_assert_eq!(m.fold(0), m.folds()[0].recompute(m.history()));
+        for _ in 0..rng.range_inclusive(1, 500) {
+            m.push(rng.chance(0.5));
+            assert_eq!(
+                m.fold(0),
+                m.folds()[0].recompute(m.history()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn global_history_matches_vec_model(
-        bits in prop::collection::vec(any::<bool>(), 1..300),
-        capacity in 1usize..100,
-    ) {
+#[test]
+fn global_history_matches_vec_model() {
+    for seed in 0..48u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let capacity = rng.range_inclusive(1, 99) as usize;
         let mut h = GlobalHistory::new(capacity);
         let mut model: Vec<bool> = Vec::new();
-        for b in bits {
+        for _ in 0..rng.range_inclusive(1, 300) {
+            let b = rng.chance(0.5);
             h.push(b);
             model.push(b);
             for age in 0..h.capacity() + 4 {
@@ -165,66 +175,71 @@ proptest! {
                 } else {
                     false
                 };
-                prop_assert_eq!(h.bit(age), expected, "age {}", age);
+                assert_eq!(h.bit(age), expected, "seed {seed} age {age}");
             }
         }
     }
+}
 
-    #[test]
-    fn sat_counter_stays_in_range(
-        bits in 1u32..8,
-        ops in prop::collection::vec(any::<bool>(), 0..200),
-    ) {
+#[test]
+fn sat_counter_stays_in_range() {
+    for bits in 1u32..8 {
+        let mut rng = Xoshiro256::seed_from_u64(bits as u64);
         let mut c = SatCounter::new(bits);
-        for taken in ops {
-            c.train(taken);
-            prop_assert!(c.value() >= c.min());
-            prop_assert!(c.value() <= c.max());
-            prop_assert_eq!(c.is_taken(), c.value() >= 0);
+        for _ in 0..200 {
+            c.train(rng.chance(0.5));
+            assert!(c.value() >= c.min());
+            assert!(c.value() <= c.max());
+            assert_eq!(c.is_taken(), c.value() >= 0);
         }
     }
+}
 
-    #[test]
-    fn counter_table_stays_in_range(
-        ops in prop::collection::vec((0usize..32, -20i32..20), 0..200),
-        bits in 1u32..8,
-    ) {
+#[test]
+fn counter_table_stays_in_range() {
+    for bits in 1u32..8 {
+        let mut rng = Xoshiro256::seed_from_u64(1000 + bits as u64);
         let mut t = CounterTable::new(32, bits);
         let lo = -(1i32 << (bits - 1));
         let hi = (1i32 << (bits - 1)) - 1;
-        for (idx, delta) in ops {
+        for _ in 0..200 {
+            let idx = rng.below(32) as usize;
+            let delta = rng.below(40) as i32 - 20;
             t.add(idx, delta);
-            prop_assert!((lo..=hi).contains(&t.get(idx)));
+            assert!((lo..=hi).contains(&t.get(idx)), "bits {bits}");
         }
     }
+}
 
-    #[test]
-    fn bf_ghr_stays_within_compressed_capacity(
-        ops in prop::collection::vec((any::<u16>(), any::<bool>(), any::<bool>()), 0..2500),
-    ) {
+#[test]
+fn bf_ghr_stays_within_compressed_capacity() {
+    for seed in 0..16u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut ghr = BfGhr::new();
         let mut out = Vec::new();
-        for (key, taken, non_biased) in ops {
-            ghr.commit(key & 0x3FFF, taken, non_biased);
-            prop_assert!(ghr.compressed_len() <= ghr.compressed_capacity());
+        for _ in 0..rng.below(2500) {
+            let key = rng.below(1 << 14) as u16;
+            ghr.commit(key, rng.chance(0.5), rng.chance(0.5));
+            assert!(ghr.compressed_len() <= ghr.compressed_capacity());
         }
         ghr.collect(&mut out);
-        prop_assert_eq!(out.len(), ghr.compressed_len());
+        assert_eq!(out.len(), ghr.compressed_len());
         let mut mixed = Vec::new();
         ghr.collect_mixed(&mut mixed);
-        prop_assert_eq!(mixed.len(), out.len());
+        assert_eq!(mixed.len(), out.len());
     }
+}
 
-    #[test]
-    fn biased_only_streams_never_populate_segments(
-        keys in prop::collection::vec(any::<u16>(), 20..200),
-    ) {
+#[test]
+fn biased_only_streams_never_populate_segments() {
+    for seed in 0..16u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
         // A stream of purely biased branches must leave every segment
         // stack empty: the BF-GHR compresses it to just the prefix.
         let mut ghr = BfGhr::new();
-        for k in keys {
-            ghr.commit(k & 0x3FFF, true, false);
+        for _ in 0..rng.range_inclusive(20, 200) {
+            ghr.commit(rng.below(1 << 14) as u16, true, false);
         }
-        prop_assert!(ghr.compressed_len() <= ghr.recent_len());
+        assert!(ghr.compressed_len() <= ghr.recent_len());
     }
 }

@@ -1,8 +1,9 @@
 //! Robustness fuzzing: every public predictor must behave sanely —
 //! no panics, bounded state — on arbitrary branch streams, including
 //! degenerate PCs (0, u64::MAX, unaligned) and hostile interleavings.
-
-use proptest::prelude::*;
+//!
+//! Streams come from the workspace's own deterministic [`Xoshiro256`]
+//! generator, so every failing case is reproducible from its seed.
 
 use bfbp::core::bf_neural::BfNeural;
 use bfbp::core::bf_tage::bf_isl_tage;
@@ -12,42 +13,36 @@ use bfbp::sim::predictor::ConditionalPredictor;
 use bfbp::sim::simulate::simulate;
 use bfbp::tage::isl::isl_tage;
 use bfbp::trace::record::{BranchKind, BranchRecord, Trace};
+use bfbp::trace::rng::Xoshiro256;
 
-fn arb_stream() -> impl Strategy<Value = Vec<BranchRecord>> {
-    prop::collection::vec(
-        (
-            prop_oneof![
-                Just(0u64),
-                Just(u64::MAX),
-                Just(1u64),
-                any::<u64>(),
-                0u64..64, // heavy aliasing
-            ],
-            any::<u64>(),
-            0u8..6,
-            any::<bool>(),
-            0u32..64,
-        )
-            .prop_map(|(pc, target, kind, taken, insts)| {
-                let kind = BranchKind::from_u8(kind).expect("valid kind");
-                BranchRecord {
-                    pc,
-                    target,
-                    kind,
-                    taken: if kind.is_conditional() { taken } else { true },
-                    non_branch_insts: insts,
-                }
-            }),
-        0..400,
-    )
+fn rand_stream(rng: &mut Xoshiro256) -> Vec<BranchRecord> {
+    let n = rng.below(400) as usize;
+    (0..n)
+        .map(|_| {
+            let pc = match rng.below(5) {
+                0 => 0u64,
+                1 => u64::MAX,
+                2 => 1u64,
+                3 => rng.next_u64(),
+                _ => rng.below(64), // heavy aliasing
+            };
+            let kind = BranchKind::from_u8(rng.below(6) as u8).expect("valid kind");
+            BranchRecord {
+                pc,
+                target: rng.next_u64(),
+                kind,
+                taken: !kind.is_conditional() || rng.chance(0.5),
+                non_branch_insts: rng.below(64) as u32,
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn no_predictor_panics_on_arbitrary_streams(records in arb_stream()) {
-        let trace = Trace::new("fuzz", records);
+#[test]
+fn no_predictor_panics_on_arbitrary_streams() {
+    for seed in 0..24u64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let trace = Trace::new("fuzz", rand_stream(&mut rng));
         let predictors: Vec<Box<dyn ConditionalPredictor>> = vec![
             Box::new(BfNeural::budget_64kb()),
             Box::new(bf_isl_tage(4)),
@@ -57,26 +52,31 @@ proptest! {
         ];
         for mut p in predictors {
             let r = simulate(p.as_mut(), &trace);
-            prop_assert!(r.mispredictions() <= r.conditional_branches());
-            prop_assert!(r.accuracy() >= 0.0 && r.accuracy() <= 1.0);
+            assert!(r.mispredictions() <= r.conditional_branches(), "seed {seed}");
+            assert!((0.0..=1.0).contains(&r.accuracy()), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn predictors_are_replay_deterministic(records in arb_stream()) {
-        let trace = Trace::new("fuzz", records);
+#[test]
+fn predictors_are_replay_deterministic() {
+    for seed in 0..24u64 {
+        let mut rng = Xoshiro256::seed_from_u64(100 + seed);
+        let trace = Trace::new("fuzz", rand_stream(&mut rng));
         let mut a = bf_isl_tage(7);
         let mut b = bf_isl_tage(7);
         let ra = simulate(&mut a, &trace);
         let rb = simulate(&mut b, &trace);
-        prop_assert_eq!(ra.mispredictions(), rb.mispredictions());
+        assert_eq!(ra.mispredictions(), rb.mispredictions(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn single_branch_always_taken_is_learned_by_everyone(
-        pc in any::<u64>(),
-        len in 50usize..200,
-    ) {
+#[test]
+fn single_branch_always_taken_is_learned_by_everyone() {
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256::seed_from_u64(200 + seed);
+        let pc = rng.next_u64();
+        let len = rng.range_inclusive(50, 200) as usize;
         let records = vec![BranchRecord::cond(pc, pc ^ 0x40, true, 1); len];
         let trace = Trace::new("mono", records);
         let predictors: Vec<Box<dyn ConditionalPredictor>> = vec![
@@ -85,12 +85,14 @@ proptest! {
             Box::new(isl_tage(4)),
         ];
         for mut p in predictors {
-            let name = p.name();
+            let name = p.name().into_owned();
             let r = simulate(p.as_mut(), &trace);
-            prop_assert!(
+            assert!(
                 r.mispredictions() <= 4,
-                "{} missed {} of {} on an always-taken branch",
-                name, r.mispredictions(), len
+                "{} missed {} of {} on an always-taken branch (seed {seed})",
+                name,
+                r.mispredictions(),
+                len
             );
         }
     }
