@@ -38,7 +38,10 @@ fn main() {
         t0.elapsed(),
         report.speedup()
     );
-    let series: Vec<Vec<_>> = labels.iter().map(|l| report.results(l)).collect();
+    let series: Vec<Vec<_>> = labels
+        .iter()
+        .map(|l| report.try_results(l).expect("label from our own spec list"))
+        .collect();
     print_mpki_table(&labels, &series);
     if let Ok(path) = report.write_json("calibrate") {
         eprintln!("results: {}", path.display());

@@ -1,6 +1,29 @@
 //! Runs every figure and table experiment in sequence — the full
 //! evaluation of the paper (EXPERIMENTS.md records one such run).
+//!
+//! `--retries N` and `--timeout MS` harden every sweep in the campaign
+//! (they export `BFBP_SWEEP_RETRIES` / `BFBP_SWEEP_TIMEOUT_MS`, which
+//! the experiment driver reads per sweep), so one pathological job
+//! degrades to a partial figure instead of killing the whole run.
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--retries" => match args.next() {
+                Some(n) if n.parse::<u32>().is_ok() => {
+                    std::env::set_var("BFBP_SWEEP_RETRIES", n)
+                }
+                _ => die("--retries needs a count"),
+            },
+            "--timeout" => match args.next() {
+                Some(ms) if ms.parse::<u64>().is_ok() => {
+                    std::env::set_var("BFBP_SWEEP_TIMEOUT_MS", ms)
+                }
+                _ => die("--timeout needs milliseconds"),
+            },
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
     let scale = bfbp_bench::scale(1.0);
     bfbp_bench::experiments::fig02_bias(scale);
     bfbp_bench::experiments::fig08_mpki(scale);
@@ -13,4 +36,10 @@ fn main() {
     bfbp_bench::experiments::profile_assist(scale);
     bfbp_bench::experiments::design_ablations(scale);
     bfbp_bench::experiments::relearning_perturbation();
+}
+
+fn die(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: run_all [--retries N] [--timeout MS]");
+    std::process::exit(2);
 }

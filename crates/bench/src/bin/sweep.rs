@@ -1,9 +1,14 @@
 //! General-purpose sweep driver: run any set of registered predictor
-//! specs over the synthetic suite through the parallel engine and write
-//! the machine-readable results JSON.
+//! specs over the synthetic suite (or on-disk BFBT trace files) through
+//! the fault-tolerant parallel engine and write the machine-readable
+//! `bfbp-sweep/2` results JSON.
 //!
 //! ```sh
-//! sweep [--threads N] [--run NAME] [--interval INSTS] <spec> [<spec>...]
+//! sweep [--threads N] [--run NAME] [--interval INSTS]
+//!       [--retries N] [--backoff MS] [--timeout MS]
+//!       [--journal PATH] [--resume PATH]
+//!       [--trace-file PATH]... [--fault-plan PLAN]
+//!       <spec> [<spec>...]
 //! sweep --list
 //! ```
 //!
@@ -12,19 +17,33 @@
 //! `gshare:log-size=20`. Trace lengths scale with `BFBP_TRACE_SCALE`
 //! (default 1.0); the JSON lands in `target/results/<run>.json` unless
 //! `BFBP_RESULTS_DIR` overrides the directory.
+//!
+//! Fault tolerance: failed jobs are retried `--retries` times with
+//! `--backoff` between attempts; `--timeout` bounds each job's wall
+//! clock; `--journal` checkpoints completed jobs so `--resume` re-runs
+//! only missing or failed ones. `--fault-plan` injects deterministic
+//! failures (e.g. `panic@1,delay@2=50,io@3=checksum`) for drills. A run
+//! with failed jobs still exits 0 and reports partial results — a spec
+//! that does not build at all is the only sweep-level failure.
 
 use std::process::ExitCode;
 
 use bfbp_bench::{banner, print_mpki_table, scale};
-use bfbp_sim::engine::{sweep, SweepOptions};
+use bfbp_sim::engine::{sweep, sweep_inputs, SweepOptions, TraceInput};
+use bfbp_sim::fault::FaultPlan;
 use bfbp_sim::registry::PredictorSpec;
 use bfbp_sim::runner::SuiteRunner;
+use bfbp_sim::RetryPolicy;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let registry = bfbp::default_registry();
-    let mut options = SweepOptions::default();
+    let mut options = SweepOptions::from_env();
     let mut run = "sweep".to_owned();
     let mut specs: Vec<PredictorSpec> = Vec::new();
+    let mut trace_files: Vec<String> = Vec::new();
+    let mut retries: u32 = options.retry.max_attempts.saturating_sub(1);
+    let mut backoff = options.retry.backoff;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -48,6 +67,35 @@ fn main() -> ExitCode {
                 Some(name) => run = name,
                 None => return usage("--run needs a name"),
             },
+            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retries = n,
+                None => return usage("--retries needs a count"),
+            },
+            "--backoff" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => backoff = Duration::from_millis(ms),
+                None => return usage("--backoff needs milliseconds"),
+            },
+            "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => options.timeout = Some(Duration::from_millis(ms)),
+                None => return usage("--timeout needs milliseconds"),
+            },
+            "--journal" => match args.next() {
+                Some(path) => options.journal = Some(path.into()),
+                None => return usage("--journal needs a path"),
+            },
+            "--resume" => match args.next() {
+                Some(path) => options = options.resuming(path),
+                None => return usage("--resume needs a journal path"),
+            },
+            "--fault-plan" => match args.next().map(|v| FaultPlan::parse(&v)) {
+                Some(Ok(plan)) => options.fault_plan = Some(plan),
+                Some(Err(e)) => return usage(&e.to_string()),
+                None => return usage("--fault-plan needs a plan string"),
+            },
+            "--trace-file" => match args.next() {
+                Some(path) => trace_files.push(path),
+                None => return usage("--trace-file needs a path"),
+            },
             text => match PredictorSpec::parse(text) {
                 Ok(s) => specs.push(s),
                 Err(e) => return usage(&format!("bad spec {text:?}: {e}")),
@@ -57,14 +105,38 @@ fn main() -> ExitCode {
     if specs.is_empty() {
         return usage("no predictor specs given");
     }
+    options.retry = RetryPolicy {
+        max_attempts: retries.saturating_add(1),
+        backoff,
+    };
 
-    let scale = scale(1.0);
-    banner(
-        "sweep",
-        &format!("{} spec(s) over the suite at scale {scale}", specs.len()),
-    );
-    let runner = SuiteRunner::generate(scale);
-    let report = match sweep(&registry, &specs, &runner, &options) {
+    let result = if trace_files.is_empty() {
+        let scale = scale(1.0);
+        banner(
+            "sweep",
+            &format!("{} spec(s) over the suite at scale {scale}", specs.len()),
+        );
+        let runner = SuiteRunner::generate(scale);
+        sweep(&registry, &specs, &runner, &options)
+    } else {
+        banner(
+            "sweep",
+            &format!(
+                "{} spec(s) over {} trace file(s)",
+                specs.len(),
+                trace_files.len()
+            ),
+        );
+        let inputs: Vec<TraceInput> =
+            trace_files.iter().map(TraceInput::from_file).collect();
+        for input in &inputs {
+            if let TraceInput::Unavailable { name, error } = input {
+                eprintln!("warning: trace {name:?} unavailable: {error}");
+            }
+        }
+        sweep_inputs(&registry, &specs, &inputs, &options)
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -73,14 +145,48 @@ fn main() -> ExitCode {
         }
     };
 
-    let labeled = report.all_results();
-    let labels: Vec<&str> = labeled.iter().map(|(l, _)| l.as_str()).collect();
-    let series: Vec<Vec<_>> = labeled.iter().map(|(_, r)| r.clone()).collect();
-    print_mpki_table(&labels, &series);
+    if report.is_fully_ok() {
+        let labeled = report.all_results();
+        let labels: Vec<&str> = labeled.iter().map(|(l, _)| l.as_str()).collect();
+        let series: Vec<Vec<_>> = labeled.iter().map(|(_, r)| r.clone()).collect();
+        print_mpki_table(&labels, &series);
+    } else {
+        // Partial results: the per-series table assumes full columns, so
+        // report job statuses instead.
+        println!("partial results ({} of {} jobs ok):", report.summary().ok, report.jobs().len());
+        let traces = report.trace_names();
+        for (s, info) in report.series().iter().enumerate() {
+            for (t, trace) in traces.iter().enumerate() {
+                let job = report.job(s, t).expect("matrix cell");
+                let detail = match &job.status {
+                    bfbp_sim::JobStatus::Ok(rec) => format!("mpki {:.3}", rec.result.mpki()),
+                    bfbp_sim::JobStatus::Failed { error } => error.clone(),
+                    _ => String::new(),
+                };
+                println!(
+                    "  {:<12} {:<10} {:<10} {}",
+                    info.label,
+                    trace,
+                    job.status.name(),
+                    detail
+                );
+            }
+        }
+    }
+    let summary = report.summary();
     println!(
-        "\n{} jobs on {} threads: wall {:.0} ms, cpu {:.0} ms, speedup {:.2}x",
-        report.jobs().len(),
+        "\n{} jobs on {} threads ({} ok, {} failed, {} timed out, {} skipped{}): wall {:.0} ms, cpu {:.0} ms, speedup {:.2}x",
+        summary.jobs,
         report.threads(),
+        summary.ok,
+        summary.failed,
+        summary.timed_out,
+        summary.skipped,
+        if summary.resumed > 0 {
+            format!(", {} resumed", summary.resumed)
+        } else {
+            String::new()
+        },
         report.wall().as_secs_f64() * 1e3,
         report.cpu().as_secs_f64() * 1e3,
         report.speedup()
@@ -98,9 +204,14 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: sweep [--threads N] [--run NAME] [--interval INSTS] <spec> [<spec>...]\n\
+        "usage: sweep [--threads N] [--run NAME] [--interval INSTS]\n\
+                      [--retries N] [--backoff MS] [--timeout MS]\n\
+                      [--journal PATH] [--resume PATH]\n\
+                      [--trace-file PATH]... [--fault-plan PLAN]\n\
+                      <spec> [<spec>...]\n\
                 sweep --list\n\
-         spec: [label=]name[:key=value,...]"
+         spec: [label=]name[:key=value,...]\n\
+         plan: e.g. panic@1,panic@4=1,delay@2=50,io@3=checksum,skip@5,random@42=0.1"
     );
     ExitCode::FAILURE
 }

@@ -44,14 +44,16 @@ fn run_sweep(specs: &[PredictorSpec], scale: f64, run: &str) -> SweepReport {
 }
 
 /// [`run_sweep`] against a caller-provided registry and trace suite.
+/// Fault-tolerance knobs (`BFBP_SWEEP_RETRIES`, `BFBP_SWEEP_BACKOFF_MS`,
+/// `BFBP_SWEEP_TIMEOUT_MS`) are honored from the environment.
 fn run_sweep_with(
     registry: &PredictorRegistry,
     specs: &[PredictorSpec],
     runner: &SuiteRunner,
     run: &str,
 ) -> SweepReport {
-    let report = sweep(registry, specs, runner, &SweepOptions::default())
-        .unwrap_or_else(|e| panic!("sweep {run} failed to build a spec: {e}"));
+    let report = sweep(registry, specs, runner, &SweepOptions::from_env())
+        .unwrap_or_else(|e| panic!("sweep {run} failed to start: {e}"));
     match report.write_json(run) {
         Ok(path) => println!(
             "[{run}: {} jobs on {} threads, wall {:.0} ms, speedup {:.2}x -> {}]",
@@ -63,7 +65,22 @@ fn run_sweep_with(
         ),
         Err(e) => eprintln!("warning: could not write results for {run}: {e}"),
     }
+    let summary = report.summary();
+    if summary.ok < summary.jobs {
+        eprintln!(
+            "warning: {run} completed partially: {} ok, {} failed, {} timed out, {} skipped",
+            summary.ok, summary.failed, summary.timed_out, summary.skipped
+        );
+    }
     report
+}
+
+/// The successful per-trace results of one series; panics on an unknown
+/// label (labels here come from the experiment's own spec list).
+fn series_results(report: &SweepReport, label: &str) -> Vec<SimResult> {
+    report
+        .try_results(label)
+        .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"))
 }
 
 /// Figure 2: percentage of completely biased static branches per trace
@@ -118,9 +135,9 @@ pub fn fig08_mpki(scale: f64) -> (f64, f64, f64) {
     );
     let report = run_sweep(&fig08_specs(), scale, "fig08");
     let (snap, tage, bf) = (
-        report.results("OH-SNAP"),
-        report.results("TAGE"),
-        report.results("BF-Neural"),
+        series_results(&report, "OH-SNAP"),
+        series_results(&report, "TAGE"),
+        series_results(&report, "BF-Neural"),
     );
     print_mpki_table(
         &["OH-SNAP", "TAGE", "BF-Neural"],
@@ -188,7 +205,7 @@ pub fn fig09_ablation(scale: f64) -> [f64; 4] {
         &labels,
         &labels
             .iter()
-            .map(|l| report.results(l))
+            .map(|l| series_results(&report, l))
             .collect::<Vec<_>>(),
     );
     let bars = labels.map(|l| report.mean_mpki(l));
@@ -262,9 +279,9 @@ pub fn fig11_relative(scale: f64) -> Vec<(String, f64, f64)> {
     ];
     let report = run_sweep(&specs, scale, "fig11");
     let (t10, t15, bf10) = (
-        report.results("t10"),
-        report.results("t15"),
-        report.results("bf10"),
+        series_results(&report, "t10"),
+        series_results(&report, "t15"),
+        series_results(&report, "bf10"),
     );
     println!(
         "{}{}{}",

@@ -1,4 +1,4 @@
-//! The parallel suite-sweep engine.
+//! The parallel, fault-tolerant suite-sweep engine.
 //!
 //! Every figure of the paper is a (predictor-configuration × trace)
 //! cross-product. [`sweep`] schedules that whole matrix as independent
@@ -7,6 +7,30 @@
 //! over one shared trace (held behind `Arc<Trace>`, generated once by
 //! the [`SuiteRunner`]), and records the [`SimResult`] plus per-job wall
 //! time and windowed (interval) MPKI.
+//!
+//! # Fault tolerance
+//!
+//! Long campaigns only work at scale if a single bad job degrades
+//! gracefully instead of aborting the matrix, so every job runs inside
+//! an isolation boundary:
+//!
+//! * a panicking predictor (or trace) is caught with `catch_unwind` and
+//!   becomes a structured [`JobStatus::Failed`] for that one job;
+//! * a [`RetryPolicy`] re-attempts failed jobs with a fixed backoff;
+//! * an optional per-job wall-clock timeout is enforced by a watchdog
+//!   thread that raises a cancellation flag; the simulation loop polls
+//!   it at [`crate::simulate::CANCEL_CHECK_RECORDS`]-record boundaries
+//!   and the job reports [`JobStatus::TimedOut`] while the pool moves
+//!   on;
+//! * a trace that fails validation on load ([`TraceInput::Unavailable`])
+//!   quarantines exactly the jobs that needed it;
+//! * completed jobs can be checkpointed to a [`journal`](crate::journal)
+//!   file as they finish, and a later sweep with
+//!   [`SweepOptions::resume_from`] restores them and re-runs only the
+//!   missing or failed jobs;
+//! * a deterministic [`FaultPlan`] injects panics, delays, and
+//!   trace-format failures into chosen jobs so every one of these paths
+//!   is exercised by tests.
 //!
 //! Determinism: jobs are completely independent (fresh predictor, shared
 //! immutable trace) and results are reassembled in job-index order, so a
@@ -25,18 +49,60 @@
 //! let runner = SuiteRunner::from_specs(vec![suite::find("INT1").unwrap()], 0.01);
 //! let specs = [PredictorSpec::new("static-taken")];
 //! let report = engine::sweep(&registry, &specs, &runner, &SweepOptions::default()).unwrap();
-//! assert_eq!(report.results("static-taken").len(), 1);
+//! assert_eq!(report.try_results("static-taken").unwrap().len(), 1);
+//! assert!(report.is_fully_ok());
 //! ```
 
+use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use bfbp_trace::format::{corrupt, read_trace, read_trace_file};
+use bfbp_trace::record::{BranchRecord, Trace};
+
+use crate::fault::{Fault, FaultPlan};
+use crate::journal::{self, Journal, JournalError};
 use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
 use crate::runner::SuiteRunner;
-use crate::simulate::{mean_mpki, simulate_with_intervals, IntervalPoint, SimResult};
+use crate::simulate::{
+    mean_mpki, simulate_with_intervals_while, IntervalPoint, SimResult,
+};
+
+/// Schema identifier of the sweep result document.
+pub const SWEEP_SCHEMA: &str = "bfbp-sweep/2";
+
+/// How failed job attempts are retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (minimum 1 — the first try counts).
+    pub max_attempts: u32,
+    /// Fixed pause between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` re-attempts after the first try.
+    pub fn retries(retries: u32, backoff: Duration) -> Self {
+        Self {
+            max_attempts: retries.saturating_add(1),
+            backoff,
+        }
+    }
+}
 
 /// Tuning knobs for a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,23 +112,48 @@ pub struct SweepOptions {
     /// Window size (in committed instructions) for interval MPKI
     /// collection; `0` disables interval collection.
     pub interval_insts: u64,
+    /// Per-job retry policy for failed (not timed-out) attempts.
+    pub retry: RetryPolicy,
+    /// Per-job wall-clock budget covering all attempts and backoff; the
+    /// watchdog marks overrunning jobs [`JobStatus::TimedOut`]. `None`
+    /// disables the watchdog.
+    pub timeout: Option<Duration>,
+    /// Deterministic fault injection (tests and chaos drills).
+    pub fault_plan: Option<FaultPlan>,
+    /// Checkpoint journal to append completed jobs to.
+    pub journal: Option<PathBuf>,
+    /// Journal to restore completed jobs from; only missing or failed
+    /// jobs are re-run. Point [`SweepOptions::journal`] at the same file
+    /// to keep checkpointing the resumed run.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        Self {
-            threads: 0,
-            interval_insts: 100_000,
-        }
+        Self::new()
     }
 }
 
 impl SweepOptions {
+    /// The defaults: all cores, 100k-instruction intervals, one attempt,
+    /// no timeout, no faults, no journal.
+    pub fn new() -> Self {
+        Self {
+            threads: 0,
+            interval_insts: 100_000,
+            retry: RetryPolicy::default(),
+            timeout: None,
+            fault_plan: None,
+            journal: None,
+            resume_from: None,
+        }
+    }
+
     /// A single-threaded sweep (the reference serial schedule).
     pub fn serial() -> Self {
         Self {
             threads: 1,
-            ..Self::default()
+            ..Self::new()
         }
     }
 
@@ -71,17 +162,174 @@ impl SweepOptions {
         self.threads = threads;
         self
     }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-job wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Appends completed jobs to a checkpoint journal at `path`.
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resumes from the journal at `path` *and* keeps appending new
+    /// completions to it — the `sweep --resume` workflow.
+    pub fn resuming(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        self.resume_from = Some(path.clone());
+        self.journal = Some(path);
+        self
+    }
+
+    /// Overlays environment-driven hardening knobs on the defaults:
+    /// `BFBP_SWEEP_RETRIES` (extra attempts after the first),
+    /// `BFBP_SWEEP_BACKOFF_MS`, and `BFBP_SWEEP_TIMEOUT_MS`. Unset or
+    /// malformed variables leave the defaults untouched.
+    pub fn from_env() -> Self {
+        Self::from_env_with(|name| std::env::var(name).ok())
+    }
+
+    /// [`SweepOptions::from_env`] with an injectable lookup, so tests can
+    /// pin the environment instead of mutating the process-global one.
+    pub fn from_env_with<F>(lookup: F) -> Self
+    where
+        F: Fn(&str) -> Option<String>,
+    {
+        let mut options = Self::new();
+        let num = |name: &str| lookup(name).and_then(|v| v.parse::<u64>().ok());
+        if let Some(retries) = num("BFBP_SWEEP_RETRIES") {
+            options.retry.max_attempts = (retries as u32).saturating_add(1);
+        }
+        if let Some(ms) = num("BFBP_SWEEP_BACKOFF_MS") {
+            options.retry.backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = num("BFBP_SWEEP_TIMEOUT_MS").filter(|ms| *ms > 0) {
+            options.timeout = Some(Duration::from_millis(ms));
+        }
+        options
+    }
 }
 
-/// One (predictor-config × trace) cell of a sweep.
+/// Why a sweep could not run at all (individual job failures never
+/// surface here — they are per-job statuses in the report).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A spec failed validation before any simulation started.
+    Build(BuildError),
+    /// The checkpoint journal could not be created, read, or matched.
+    Journal(JournalError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Build(e) => write!(f, "{e}"),
+            SweepError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Build(e) => Some(e),
+            SweepError::Journal(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for SweepError {
+    fn from(e: BuildError) -> Self {
+        SweepError::Build(e)
+    }
+}
+
+impl From<JournalError> for SweepError {
+    fn from(e: JournalError) -> Self {
+        SweepError::Journal(e)
+    }
+}
+
+/// One (predictor-config × trace) cell of a sweep that completed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// The simulation outcome.
     pub result: SimResult,
     /// Windowed MPKI samples (empty when interval collection is off).
     pub intervals: Vec<IntervalPoint>,
-    /// Wall time for this job (predictor construction + simulation).
+    /// Wall time of the successful attempt (predictor construction +
+    /// simulation).
     pub wall: Duration,
+}
+
+/// Terminal state of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// The job completed and produced a result.
+    Ok(JobRecord),
+    /// Every permitted attempt failed (panic, build error, or trace
+    /// fault); `error` is the last attempt's message.
+    Failed {
+        /// Human-readable failure description.
+        error: String,
+    },
+    /// The watchdog cancelled the job after its wall-clock budget.
+    TimedOut,
+    /// The job was never attempted (fault plan or operator decision).
+    Skipped,
+}
+
+impl JobStatus {
+    /// The status keyword used in the JSON document and the journal.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Ok(_) => "ok",
+            JobStatus::Failed { .. } => "failed",
+            JobStatus::TimedOut => "timed_out",
+            JobStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// The per-job envelope: terminal status plus attempt accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Terminal status (carries the [`JobRecord`] when successful).
+    pub status: JobStatus,
+    /// Attempts consumed (0 when the job never ran).
+    pub attempts: u32,
+    /// Wall time across all attempts, including backoff.
+    pub wall: Duration,
+}
+
+impl JobOutcome {
+    /// The completed record, if the job succeeded.
+    pub fn record(&self) -> Option<&JobRecord> {
+        match &self.status {
+            JobStatus::Ok(record) => Some(record),
+            _ => None,
+        }
+    }
+
+    /// Whether the job completed successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.status, JobStatus::Ok(_))
+    }
 }
 
 /// Per-series metadata recorded once per predictor spec.
@@ -99,15 +347,83 @@ pub struct SeriesInfo {
     pub storage_bytes: u64,
 }
 
+/// Run-level health counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Total jobs in the matrix.
+    pub jobs: usize,
+    /// Jobs that completed successfully.
+    pub ok: usize,
+    /// Jobs that exhausted their attempts.
+    pub failed: usize,
+    /// Jobs cancelled by the watchdog.
+    pub timed_out: usize,
+    /// Jobs never attempted.
+    pub skipped: usize,
+    /// Of the ok jobs, how many were restored from a resume journal.
+    pub resumed: usize,
+}
+
+/// One trace column of a sweep matrix: either a usable trace or a
+/// placeholder for one that failed validation on load, which
+/// quarantines exactly the jobs needing it instead of the whole run.
+#[derive(Debug, Clone)]
+pub enum TraceInput {
+    /// A healthy, shared trace.
+    Ready(Arc<Trace>),
+    /// A trace that could not be loaded; its jobs report
+    /// [`JobStatus::Failed`] without being attempted.
+    Unavailable {
+        /// Display name for the trace column.
+        name: String,
+        /// Why the load failed.
+        error: String,
+    },
+}
+
+impl TraceInput {
+    /// Wraps an in-memory trace.
+    pub fn ready(trace: Trace) -> Self {
+        TraceInput::Ready(Arc::new(trace))
+    }
+
+    /// Loads and validates a BFBT trace file; a corrupt or unreadable
+    /// file becomes [`TraceInput::Unavailable`] (named after the file
+    /// stem) instead of an error, so one bad file costs one trace
+    /// column, not the run.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Self {
+        let path = path.as_ref();
+        match read_trace_file(path) {
+            Ok(trace) => TraceInput::Ready(Arc::new(trace)),
+            Err(e) => TraceInput::Unavailable {
+                name: path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string()),
+                error: e.to_string(),
+            },
+        }
+    }
+
+    /// The trace column's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceInput::Ready(trace) => trace.name(),
+            TraceInput::Unavailable { name, .. } => name,
+        }
+    }
+}
+
 /// The complete outcome of a sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
     series: Vec<SeriesInfo>,
     trace_names: Vec<String>,
     /// Series-major: `jobs[s * n_traces + t]`.
-    jobs: Vec<JobRecord>,
+    jobs: Vec<JobOutcome>,
     threads: usize,
     wall: Duration,
+    resumed: usize,
 }
 
 impl SweepReport {
@@ -116,42 +432,100 @@ impl SweepReport {
         &self.series
     }
 
+    /// Series metadata for the series with the given label, or `None`
+    /// if no series carries that label.
+    pub fn try_series(&self, label: &str) -> Option<&SeriesInfo> {
+        self.series.iter().find(|info| info.label == label)
+    }
+
     /// Trace names in suite order.
     pub fn trace_names(&self) -> &[String] {
         &self.trace_names
     }
 
-    /// All jobs, series-major then trace order.
-    pub fn jobs(&self) -> &[JobRecord] {
+    /// All job outcomes, series-major then trace order.
+    pub fn jobs(&self) -> &[JobOutcome] {
         &self.jobs
     }
 
-    /// Per-trace results for the series with the given label (panics if
-    /// the label is unknown — labels come from the caller's own specs).
-    pub fn results(&self, label: &str) -> Vec<SimResult> {
-        let s = self
-            .series
-            .iter()
-            .position(|info| info.label == label)
-            .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"));
-        let t = self.trace_names.len();
-        self.jobs[s * t..(s + 1) * t]
-            .iter()
-            .map(|j| j.result.clone())
-            .collect()
+    /// The outcome of one (series, trace) cell.
+    pub fn job(&self, series: usize, trace: usize) -> Option<&JobOutcome> {
+        self.jobs.get(series * self.trace_names.len() + trace)
     }
 
-    /// `(label, per-trace results)` for every series, in spec order.
+    fn series_jobs(&self, s: usize) -> &[JobOutcome] {
+        let t = self.trace_names.len();
+        &self.jobs[s * t..(s + 1) * t]
+    }
+
+    /// Successful per-trace results for the series with the given
+    /// label, in trace order (failed/timed-out/skipped cells are
+    /// omitted). `None` if the label is unknown.
+    pub fn try_results(&self, label: &str) -> Option<Vec<SimResult>> {
+        let s = self.series.iter().position(|info| info.label == label)?;
+        Some(
+            self.series_jobs(s)
+                .iter()
+                .filter_map(|j| j.record().map(|r| r.result.clone()))
+                .collect(),
+        )
+    }
+
+    /// Per-trace results for the series with the given label.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on an unknown label; use try_results (or try_series) \
+                and handle the None"
+    )]
+    pub fn results(&self, label: &str) -> Vec<SimResult> {
+        self.try_results(label)
+            .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"))
+    }
+
+    /// `(label, successful per-trace results)` for every series, in
+    /// spec order.
     pub fn all_results(&self) -> Vec<(String, Vec<SimResult>)> {
         self.series
             .iter()
-            .map(|info| (info.label.clone(), self.results(&info.label)))
+            .map(|info| {
+                let results = self
+                    .try_results(&info.label)
+                    .expect("series labels enumerate existing series");
+                (info.label.clone(), results)
+            })
             .collect()
     }
 
-    /// Arithmetic-mean MPKI of one series.
+    /// Arithmetic-mean MPKI of one series' successful jobs (panics if
+    /// the label is unknown — labels come from the caller's own specs).
     pub fn mean_mpki(&self, label: &str) -> f64 {
-        mean_mpki(&self.results(label))
+        let results = self
+            .try_results(label)
+            .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"));
+        mean_mpki(&results)
+    }
+
+    /// Run-level health counts.
+    pub fn summary(&self) -> RunSummary {
+        let mut summary = RunSummary {
+            jobs: self.jobs.len(),
+            resumed: self.resumed,
+            ..RunSummary::default()
+        };
+        for job in &self.jobs {
+            match job.status {
+                JobStatus::Ok(_) => summary.ok += 1,
+                JobStatus::Failed { .. } => summary.failed += 1,
+                JobStatus::TimedOut => summary.timed_out += 1,
+                JobStatus::Skipped => summary.skipped += 1,
+            }
+        }
+        summary
+    }
+
+    /// Whether every job completed successfully.
+    pub fn is_fully_ok(&self) -> bool {
+        self.jobs.iter().all(JobOutcome::is_ok)
     }
 
     /// Worker threads the sweep ran with.
@@ -180,7 +554,9 @@ impl SweepReport {
 
     fn render_json(&self, with_timing: bool) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"bfbp-sweep/1\",\n  \"traces\": [");
+        out.push_str("{\n  \"schema\": ");
+        out.push_str(&json_string(SWEEP_SCHEMA));
+        out.push_str(",\n  \"traces\": [");
         for (i, name) in self.trace_names.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -188,9 +564,8 @@ impl SweepReport {
             out.push_str(&json_string(name));
         }
         out.push_str("],\n  \"series\": [\n");
-        let t = self.trace_names.len();
         for (s, info) in self.series.iter().enumerate() {
-            let rows = &self.jobs[s * t..(s + 1) * t];
+            let rows = self.series_jobs(s);
             out.push_str("    {\"label\": ");
             out.push_str(&json_string(&info.label));
             out.push_str(", \"predictor\": ");
@@ -208,40 +583,69 @@ impl SweepReport {
                 out.push_str(&value.to_json());
             }
             out.push_str("},\n");
-            let results: Vec<SimResult> = rows.iter().map(|j| j.result.clone()).collect();
+            let results: Vec<SimResult> = rows
+                .iter()
+                .filter_map(|j| j.record().map(|r| r.result.clone()))
+                .collect();
+            let mean = if results.is_empty() {
+                f64::NAN // renders as null: no successful job to average
+            } else {
+                mean_mpki(&results)
+            };
             out.push_str(&format!(
                 "     \"mean_mpki\": {},\n     \"results\": [\n",
-                json_f64(mean_mpki(&results))
+                json_f64(mean)
             ));
             for (i, job) in rows.iter().enumerate() {
-                let r = &job.result;
-                out.push_str(&format!(
-                    "      {{\"trace\": {}, \"conditional_branches\": {}, \"mispredictions\": {}, \"instructions\": {}, \"mpki\": {}, \"intervals\": [",
-                    json_string(r.trace_name()),
-                    r.conditional_branches(),
-                    r.mispredictions(),
-                    r.instructions(),
-                    json_f64(r.mpki()),
-                ));
-                for (k, iv) in job.intervals.iter().enumerate() {
-                    if k > 0 {
-                        out.push_str(", ");
+                out.push_str("      {\"trace\": ");
+                out.push_str(&json_string(&self.trace_names[i]));
+                out.push_str(", \"status\": ");
+                out.push_str(&json_string(job.status.name()));
+                match &job.status {
+                    JobStatus::Ok(record) => {
+                        let r = &record.result;
+                        out.push_str(&format!(
+                            ", \"conditional_branches\": {}, \"mispredictions\": {}, \"instructions\": {}, \"mpki\": {}, \"intervals\": [",
+                            r.conditional_branches(),
+                            r.mispredictions(),
+                            r.instructions(),
+                            json_f64(r.mpki()),
+                        ));
+                        for (k, iv) in record.intervals.iter().enumerate() {
+                            if k > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&format!(
+                                "[{}, {}, {}]",
+                                iv.instructions,
+                                iv.mispredictions,
+                                json_f64(iv.mpki())
+                            ));
+                        }
+                        out.push(']');
                     }
-                    out.push_str(&format!(
-                        "[{}, {}, {}]",
-                        iv.instructions, iv.mispredictions,
-                        json_f64(iv.mpki())
-                    ));
+                    JobStatus::Failed { error } => {
+                        out.push_str(&format!(", \"attempts\": {}, \"error\": ", job.attempts));
+                        out.push_str(&json_string(error));
+                    }
+                    JobStatus::TimedOut | JobStatus::Skipped => {}
                 }
-                out.push_str("]}");
+                out.push('}');
                 out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
             }
             out.push_str("     ]}");
             out.push_str(if s + 1 < self.series.len() { ",\n" } else { "\n" });
         }
-        out.push_str("  ]");
+        out.push_str("  ],\n");
+        let summary = self.summary();
+        out.push_str(&format!(
+            "  \"summary\": {{\"jobs\": {}, \"ok\": {}, \"failed\": {}, \"timed_out\": {}, \"skipped\": {}}}",
+            summary.jobs, summary.ok, summary.failed, summary.timed_out, summary.skipped
+        ));
         if with_timing {
+            let t = self.trace_names.len();
             out.push_str(&format!(",\n  \"threads\": {}", self.threads));
+            out.push_str(&format!(",\n  \"resumed_jobs\": {}", self.resumed));
             out.push_str(&format!(
                 ",\n  \"timing\": {{\"wall_ms\": {}, \"cpu_ms\": {}, \"parallel_speedup\": {}, \"jobs_ms\": [",
                 json_f64(self.wall.as_secs_f64() * 1e3),
@@ -261,6 +665,20 @@ impl SweepReport {
                 }
                 out.push(']');
             }
+            out.push_str("], \"attempts\": [");
+            for s in 0..self.series.len() {
+                if s > 0 {
+                    out.push_str(", ");
+                }
+                out.push('[');
+                for (i, job) in self.jobs[s * t..(s + 1) * t].iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&job.attempts.to_string());
+                }
+                out.push(']');
+            }
             out.push_str("]}");
         }
         out.push_str("\n}\n");
@@ -269,13 +687,16 @@ impl SweepReport {
 
     /// The deterministic results document: independent of thread count
     /// and scheduling (no timing fields). A parallel sweep and a serial
-    /// sweep of the same matrix produce byte-identical output.
+    /// sweep of the same matrix produce byte-identical output, and a
+    /// resumed run whose re-run jobs succeed produces byte-identical
+    /// output to an all-healthy run of the same matrix.
     pub fn results_json(&self) -> String {
         self.render_json(false)
     }
 
     /// The full machine-readable document: results plus the timing
-    /// section (`wall_ms`, `cpu_ms`, `parallel_speedup`, per-job times).
+    /// section (`wall_ms`, `cpu_ms`, `parallel_speedup`, per-job times
+    /// and attempt counts).
     pub fn to_json(&self) -> String {
         self.render_json(true)
     }
@@ -294,17 +715,269 @@ impl SweepReport {
     }
 }
 
-/// Runs the full (spec × trace) matrix in parallel and reassembles
-/// deterministic per-series results.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panicked inside a lock poisons it; the protected
+    // data (result slots, deadlines) is still structurally valid, so
+    // recover instead of cascading the panic to every other worker.
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cooperative cancellation signal handed to each job: raised by the
+/// watchdog thread (parallel runs) and double-checked against the
+/// deadline directly (covers serial runs and watchdog scheduling lag).
+struct CancelSignal<'a> {
+    flag: Option<&'a AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelSignal<'_> {
+    fn cancelled(&self) -> bool {
+        if let Some(flag) = self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// Sleeps for `total`, polling `cancel` in small slices. Returns `false`
+/// if cancelled before the sleep finished.
+fn cancellable_sleep(total: Duration, cancel: &CancelSignal<'_>) -> bool {
+    let slice = Duration::from_millis(2);
+    let end = Instant::now() + total;
+    loop {
+        if cancel.cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= end {
+            return true;
+        }
+        std::thread::sleep((end - now).min(slice));
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A healthy two-record trace used as raw material for injected
+/// trace-format faults (serialized, corrupted, re-read — so the real
+/// parse path produces the error).
+fn fault_probe_trace() -> Trace {
+    Trace::new(
+        "fault-probe",
+        vec![
+            BranchRecord::cond(0x40, 0x80, true, 3),
+            BranchRecord::cond(0x80, 0x40, false, 1),
+        ],
+    )
+}
+
+enum AttemptError {
+    /// Retryable failure (panic, build error, injected trace fault).
+    Failed(String),
+    /// The cancellation signal fired; never retried.
+    Cancelled,
+}
+
+/// Everything a worker needs to run jobs, shared immutably across the
+/// pool.
+struct SweepContext<'a> {
+    registry: &'a PredictorRegistry,
+    specs: &'a [PredictorSpec],
+    inputs: &'a [TraceInput],
+    n_traces: usize,
+    interval_insts: u64,
+    retry: RetryPolicy,
+    faults: BTreeMap<usize, Fault>,
+    journal: Option<Journal>,
+}
+
+impl SweepContext<'_> {
+    fn run_attempt(
+        &self,
+        job: usize,
+        attempt: u32,
+        trace: &Arc<Trace>,
+        fault: Option<&Fault>,
+        cancel: &CancelSignal<'_>,
+    ) -> Result<JobRecord, AttemptError> {
+        let attempt_start = Instant::now();
+        match fault {
+            // The guard runs the injected delay; a cancelled sleep means
+            // the watchdog fired mid-delay.
+            Some(Fault::Delay { millis })
+                if !cancellable_sleep(Duration::from_millis(*millis), cancel) =>
+            {
+                return Err(AttemptError::Cancelled);
+            }
+            Some(Fault::TraceError { kind }) => {
+                let bytes = corrupt::corrupted(&fault_probe_trace(), *kind);
+                let err = read_trace(&bytes[..])
+                    .expect_err("corrupted probe stream must fail to parse");
+                return Err(AttemptError::Failed(format!("trace load failed: {err}")));
+            }
+            _ => {}
+        }
+        let spec = &self.specs[job / self.n_traces];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(Fault::Panic { first_attempts }) = fault {
+                if attempt <= *first_attempts {
+                    panic!("injected panic (job {job}, attempt {attempt})");
+                }
+            }
+            let mut predictor = self
+                .registry
+                .build_spec(spec)
+                .map_err(|e| AttemptError::Failed(format!("predictor build failed: {e}")))?;
+            simulate_with_intervals_while(
+                predictor.as_mut(),
+                trace,
+                self.interval_insts,
+                &mut || cancel.cancelled(),
+            )
+            .map_err(|_| AttemptError::Cancelled)
+            .map(|(result, intervals)| JobRecord {
+                result,
+                intervals,
+                wall: attempt_start.elapsed(),
+            })
+        }));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => Err(AttemptError::Failed(format!(
+                "panic: {}",
+                panic_message(payload)
+            ))),
+        }
+    }
+
+    /// Runs one job to its terminal status: trace availability check,
+    /// fault lookup, attempt/retry loop, panic isolation.
+    fn run_job(&self, job: usize, cancel: &CancelSignal<'_>) -> JobOutcome {
+        let job_start = Instant::now();
+        let fault = self.faults.get(&job);
+        if matches!(fault, Some(Fault::Skip)) {
+            return JobOutcome {
+                status: JobStatus::Skipped,
+                attempts: 0,
+                wall: job_start.elapsed(),
+            };
+        }
+        let trace = match &self.inputs[job % self.n_traces] {
+            TraceInput::Ready(trace) => trace.clone(),
+            TraceInput::Unavailable { name, error } => {
+                return JobOutcome {
+                    status: JobStatus::Failed {
+                        error: format!("trace {name:?} unavailable: {error}"),
+                    },
+                    attempts: 0,
+                    wall: job_start.elapsed(),
+                };
+            }
+        };
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 1..=max_attempts {
+            match self.run_attempt(job, attempt, &trace, fault, cancel) {
+                Ok(record) => {
+                    return JobOutcome {
+                        status: JobStatus::Ok(record),
+                        attempts: attempt,
+                        wall: job_start.elapsed(),
+                    };
+                }
+                Err(AttemptError::Cancelled) => {
+                    return JobOutcome {
+                        status: JobStatus::TimedOut,
+                        attempts: attempt,
+                        wall: job_start.elapsed(),
+                    };
+                }
+                Err(AttemptError::Failed(error)) => {
+                    last_error = error;
+                    if attempt < max_attempts
+                        && !self.retry.backoff.is_zero()
+                        && !cancellable_sleep(self.retry.backoff, cancel)
+                    {
+                        return JobOutcome {
+                            status: JobStatus::TimedOut,
+                            attempts: attempt,
+                            wall: job_start.elapsed(),
+                        };
+                    }
+                }
+            }
+        }
+        JobOutcome {
+            status: JobStatus::Failed { error: last_error },
+            attempts: max_attempts,
+            wall: job_start.elapsed(),
+        }
+    }
+
+    /// Journals a completed job; journal write failures degrade to a
+    /// warning (the sweep's in-memory results are unaffected).
+    fn checkpoint(&self, job: usize, outcome: &JobOutcome) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.record(job, outcome) {
+                eprintln!("warning: sweep checkpoint write failed: {e}");
+            }
+        }
+    }
+}
+
+/// Runs the full (spec × trace) matrix in parallel with per-job fault
+/// isolation and reassembles deterministic per-series results.
 ///
 /// All specs are validated (built once) up front, so an unknown
-/// predictor or bad parameter fails before any simulation starts.
+/// predictor or bad parameter fails before any simulation starts;
+/// individual job failures after that point degrade to per-job
+/// statuses, never a run-level error.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Build`] for an invalid spec and
+/// [`SweepError::Journal`] when a checkpoint journal cannot be
+/// created/read or belongs to a different matrix.
 pub fn sweep(
     registry: &PredictorRegistry,
     specs: &[PredictorSpec],
     runner: &SuiteRunner,
     options: &SweepOptions,
-) -> Result<SweepReport, BuildError> {
+) -> Result<SweepReport, SweepError> {
+    let inputs: Vec<TraceInput> = runner
+        .traces()
+        .iter()
+        .map(|t| TraceInput::Ready(t.clone()))
+        .collect();
+    sweep_inputs(registry, specs, &inputs, options)
+}
+
+/// [`sweep`] over explicit trace columns, including quarantined
+/// ([`TraceInput::Unavailable`]) ones — the entry point for sweeping
+/// on-disk trace files.
+///
+/// # Errors
+///
+/// See [`sweep`].
+pub fn sweep_inputs(
+    registry: &PredictorRegistry,
+    specs: &[PredictorSpec],
+    inputs: &[TraceInput],
+    options: &SweepOptions,
+) -> Result<SweepReport, SweepError> {
     let start = Instant::now();
     let mut series = Vec::with_capacity(specs.len());
     for spec in specs {
@@ -318,58 +991,144 @@ pub fn sweep(
         });
     }
 
-    let traces = runner.traces();
-    let trace_names: Vec<String> = traces.iter().map(|t| t.name().to_owned()).collect();
-    let n_traces = traces.len();
+    let trace_names: Vec<String> = inputs.iter().map(|t| t.name().to_owned()).collect();
+    let n_traces = inputs.len();
     let n_jobs = specs.len() * n_traces;
+    let matrix = journal::matrix_id(&series, &trace_names, options.interval_insts);
+
+    // Resume: restore completed jobs recorded for this exact matrix.
+    let mut restored: BTreeMap<usize, JobOutcome> = BTreeMap::new();
+    if let Some(path) = &options.resume_from {
+        let loaded = Journal::load(path, Some(matrix))?;
+        restored = loaded.completed();
+        restored.retain(|job, _| *job < n_jobs);
+    }
+    let resumed = restored.len();
+
+    // Checkpoint journal: append when resuming from the same file so
+    // earlier completions are preserved, otherwise start fresh.
+    let journal_handle = match &options.journal {
+        Some(path) if options.resume_from.as_deref() == Some(path.as_path()) => {
+            Some(Journal::append_to(path)?)
+        }
+        Some(path) => Some(Journal::create(path, matrix, n_jobs)?),
+        None => None,
+    };
+
+    let pending: Vec<usize> = (0..n_jobs).filter(|j| !restored.contains_key(j)).collect();
 
     let threads = if options.threads == 0 {
         std::thread::available_parallelism().map_or(1, usize::from)
     } else {
         options.threads
     }
-    .min(n_jobs.max(1));
+    .min(pending.len().max(1));
 
-    let run_job = |job: usize| -> JobRecord {
-        let spec = &specs[job / n_traces];
-        let trace = traces[job % n_traces].clone(); // Arc clone, trace shared
-        let job_start = Instant::now();
-        let mut predictor = registry
-            .build_spec(spec)
-            .expect("spec validated before sweep started");
-        let (result, intervals) =
-            simulate_with_intervals(predictor.as_mut(), &trace, options.interval_insts);
-        JobRecord {
-            result,
-            intervals,
-            wall: job_start.elapsed(),
-        }
+    let context = SweepContext {
+        registry,
+        specs,
+        inputs,
+        n_traces,
+        interval_insts: options.interval_insts,
+        retry: options.retry,
+        faults: options
+            .fault_plan
+            .as_ref()
+            .map(|plan| plan.materialized(n_jobs))
+            .unwrap_or_default(),
+        journal: journal_handle,
     };
 
-    let jobs: Vec<JobRecord> = if threads <= 1 {
-        (0..n_jobs).map(run_job).collect()
+    let mut executed: Vec<Option<JobOutcome>> = vec![None; n_jobs];
+    if threads <= 1 {
+        for &job in &pending {
+            let cancel = CancelSignal {
+                flag: None,
+                deadline: options.timeout.map(|t| Instant::now() + t),
+            };
+            let outcome = context.run_job(job, &cancel);
+            context.checkpoint(job, &outcome);
+            executed[job] = Some(outcome);
+        }
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<JobRecord>>> = Mutex::new(vec![None; n_jobs]);
+        let slots: Mutex<&mut Vec<Option<JobOutcome>>> = Mutex::new(&mut executed);
+        let cancel_flags: Vec<AtomicBool> =
+            (0..n_jobs).map(|_| AtomicBool::new(false)).collect();
+        let deadlines: Mutex<Vec<Option<Instant>>> = Mutex::new(vec![None; n_jobs]);
+        let pool_done = AtomicBool::new(false);
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let job = next.fetch_add(1, Ordering::Relaxed);
-                    if job >= n_jobs {
-                        break;
+            // The watchdog: measures every in-flight job against its
+            // wall-clock deadline and raises that job's cancellation
+            // flag, so an overrunning job is cut off even if its own
+            // deadline arithmetic is starved (the flag is checked at
+            // every cancellation point).
+            if let Some(timeout) = options.timeout {
+                let tick = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(10));
+                let (pool_done, deadlines, cancel_flags) =
+                    (&pool_done, &deadlines, &cancel_flags);
+                scope.spawn(move || {
+                    while !pool_done.load(Ordering::Acquire) {
+                        std::thread::sleep(tick);
+                        let now = Instant::now();
+                        let deadlines = lock_or_recover(deadlines);
+                        for (job, deadline) in deadlines.iter().enumerate() {
+                            if deadline.is_some_and(|d| now >= d) {
+                                cancel_flags[job].store(true, Ordering::Relaxed);
+                            }
+                        }
                     }
-                    let record = run_job(job);
-                    slots.lock().expect("no poisoned sweep worker")[job] = Some(record);
                 });
             }
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&job) = pending.get(slot) else {
+                            break;
+                        };
+                        let deadline = options.timeout.map(|t| Instant::now() + t);
+                        if deadline.is_some() {
+                            lock_or_recover(&deadlines)[job] = deadline;
+                        }
+                        let cancel = CancelSignal {
+                            flag: Some(&cancel_flags[job]),
+                            deadline,
+                        };
+                        let outcome = context.run_job(job, &cancel);
+                        if deadline.is_some() {
+                            lock_or_recover(&deadlines)[job] = None;
+                        }
+                        context.checkpoint(job, &outcome);
+                        lock_or_recover(&slots)[job] = Some(outcome);
+                    })
+                })
+                .collect();
+            for worker in workers {
+                // A worker can only panic outside the per-job isolation
+                // boundary (an engine bug, not a predictor bug); its
+                // claimed-but-unfinished job degrades to a failed slot
+                // below instead of tearing down the sweep.
+                let _ = worker.join();
+            }
+            pool_done.store(true, Ordering::Release);
         });
-        slots
-            .into_inner()
-            .expect("no poisoned sweep worker")
-            .into_iter()
-            .map(|slot| slot.expect("every job index claimed exactly once"))
-            .collect()
-    };
+    }
+
+    let jobs: Vec<JobOutcome> = (0..n_jobs)
+        .map(|job| {
+            if let Some(outcome) = restored.remove(&job) {
+                return outcome;
+            }
+            executed[job].take().unwrap_or_else(|| JobOutcome {
+                status: JobStatus::Failed {
+                    error: "worker thread lost before completing this job".to_owned(),
+                },
+                attempts: 0,
+                wall: Duration::ZERO,
+            })
+        })
+        .collect();
 
     Ok(SweepReport {
         series,
@@ -377,15 +1136,20 @@ pub fn sweep(
         jobs,
         threads,
         wall: start.elapsed(),
+        resumed,
     })
 }
 
 /// [`sweep`] pinned to one worker thread — the reference schedule.
+///
+/// # Errors
+///
+/// See [`sweep`].
 pub fn sweep_serial(
     registry: &PredictorRegistry,
     specs: &[PredictorSpec],
     runner: &SuiteRunner,
-) -> Result<SweepReport, BuildError> {
+) -> Result<SweepReport, SweepError> {
     sweep(registry, specs, runner, &SweepOptions::serial())
 }
 
@@ -449,19 +1213,25 @@ mod tests {
         let report =
             sweep(&registry, &two_specs(), &runner, &SweepOptions::default()).unwrap();
         assert_eq!(report.jobs().len(), 4);
+        assert!(report.is_fully_ok());
         assert_eq!(report.trace_names(), &["INT1".to_owned(), "MM2".to_owned()]);
-        let t = report.results("T");
+        let t = report.try_results("T").unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t[0].trace_name(), "INT1");
         assert_eq!(t[1].trace_name(), "MM2");
         // Complementary predictors partition the mispredictions.
-        let nt = report.results("NT");
+        let nt = report.try_results("NT").unwrap();
         for (a, b) in t.iter().zip(&nt) {
             assert_eq!(
                 a.mispredictions() + b.mispredictions(),
                 a.conditional_branches()
             );
         }
+        assert!(report.try_results("nope").is_none());
+        assert!(report.try_series("T").is_some());
+        assert!(report.try_series("nope").is_none());
+        let summary = report.summary();
+        assert_eq!((summary.jobs, summary.ok), (4, 4));
     }
 
     #[test]
@@ -489,7 +1259,7 @@ mod tests {
         let specs = [PredictorSpec::new("no-such-predictor")];
         assert!(matches!(
             sweep(&registry, &specs, &runner, &SweepOptions::default()),
-            Err(BuildError::UnknownPredictor { .. })
+            Err(SweepError::Build(BuildError::UnknownPredictor { .. }))
         ));
     }
 
@@ -501,9 +1271,13 @@ mod tests {
         let results = report.results_json();
         let full = report.to_json();
         assert!(!results.contains("\"timing\""));
+        assert!(results.contains("\"schema\": \"bfbp-sweep/2\""));
+        assert!(results.contains("\"summary\""));
+        assert!(results.contains("\"status\": \"ok\""));
         assert!(full.contains("\"timing\""));
         assert!(full.contains("\"parallel_speedup\""));
         assert!(full.contains("\"wall_ms\""));
+        assert!(full.contains("\"attempts\""));
         assert!(report.speedup() > 0.0);
     }
 
@@ -514,14 +1288,146 @@ mod tests {
         let options = SweepOptions {
             threads: 1,
             interval_insts: 1000,
+            ..SweepOptions::default()
         };
         let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
         for job in report.jobs() {
-            let total: u64 = job.intervals.iter().map(|iv| iv.instructions).sum();
-            assert_eq!(total, job.result.instructions());
-            let misp: u64 = job.intervals.iter().map(|iv| iv.mispredictions).sum();
-            assert_eq!(misp, job.result.mispredictions());
+            let record = job.record().expect("healthy sweep");
+            let total: u64 = record.intervals.iter().map(|iv| iv.instructions).sum();
+            assert_eq!(total, record.result.instructions());
+            let misp: u64 = record.intervals.iter().map(|iv| iv.mispredictions).sum();
+            assert_eq!(misp, record.result.mispredictions());
         }
+    }
+
+    #[test]
+    fn injected_panic_fails_one_job_and_spares_the_rest() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let options = SweepOptions::serial()
+            .with_fault_plan(FaultPlan::new().panic_at(1));
+        let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
+        let summary = report.summary();
+        assert_eq!((summary.ok, summary.failed), (3, 1));
+        let failed = &report.jobs()[1];
+        assert_eq!(failed.attempts, 1);
+        match &failed.status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("injected panic"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The failed cell renders with its status; the run summary too.
+        let json = report.results_json();
+        assert!(json.contains("\"status\": \"failed\""), "{json}");
+        assert!(json.contains("\"failed\": 1"), "{json}");
+    }
+
+    #[test]
+    fn flaky_panic_succeeds_within_retry_budget() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let options = SweepOptions::serial()
+            .with_retry(RetryPolicy::retries(2, Duration::ZERO))
+            .with_fault_plan(FaultPlan::new().flaky_panic_at(2, 1));
+        let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
+        assert!(report.is_fully_ok());
+        assert_eq!(report.jobs()[2].attempts, 2);
+        assert_eq!(report.jobs()[0].attempts, 1);
+    }
+
+    #[test]
+    fn skip_and_trace_fault_statuses_are_reported() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let plan = FaultPlan::new()
+            .skip_at(0)
+            .trace_error_at(3, corrupt::CorruptKind::ChecksumMismatch);
+        let options = SweepOptions::serial().with_fault_plan(plan);
+        let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
+        assert_eq!(report.jobs()[0].status, JobStatus::Skipped);
+        match &report.jobs()[3].status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("checksum mismatch"), "{error}");
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let summary = report.summary();
+        assert_eq!(
+            (summary.ok, summary.failed, summary.skipped),
+            (2, 1, 1)
+        );
+        assert!(!report.is_fully_ok());
+        let json = report.results_json();
+        assert!(json.contains("\"status\": \"skipped\""));
+    }
+
+    #[test]
+    fn unavailable_trace_quarantines_only_its_column() {
+        let registry = PredictorRegistry::with_builtins();
+        let healthy = suite::find("INT1").unwrap().generate_len(1000);
+        let inputs = [
+            TraceInput::ready(healthy),
+            TraceInput::Unavailable {
+                name: "broken".to_owned(),
+                error: "checksum mismatch: footer 0x1, computed 0x2".to_owned(),
+            },
+        ];
+        let report = sweep_inputs(
+            &registry,
+            &two_specs(),
+            &inputs,
+            &SweepOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(report.trace_names()[1], "broken");
+        let summary = report.summary();
+        assert_eq!((summary.ok, summary.failed), (2, 2));
+        for s in 0..2 {
+            assert!(report.job(s, 0).unwrap().is_ok());
+            let broken = report.job(s, 1).unwrap();
+            assert_eq!(broken.attempts, 0);
+            match &broken.status {
+                JobStatus::Failed { error } => {
+                    assert!(error.contains("unavailable"), "{error}")
+                }
+                other => panic!("expected Failed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn options_from_env_parse_hardening_knobs() {
+        let env = |retries: Option<&str>, backoff: Option<&str>, timeout: Option<&str>| {
+            let (r, b, t) = (
+                retries.map(str::to_owned),
+                backoff.map(str::to_owned),
+                timeout.map(str::to_owned),
+            );
+            SweepOptions::from_env_with(move |name| match name {
+                "BFBP_SWEEP_RETRIES" => r.clone(),
+                "BFBP_SWEEP_BACKOFF_MS" => b.clone(),
+                "BFBP_SWEEP_TIMEOUT_MS" => t.clone(),
+                _ => None,
+            })
+        };
+        assert_eq!(env(None, None, None), SweepOptions::default());
+        let hardened = env(Some("2"), Some("10"), Some("5000"));
+        assert_eq!(hardened.retry.max_attempts, 3);
+        assert_eq!(hardened.retry.backoff, Duration::from_millis(10));
+        assert_eq!(hardened.timeout, Some(Duration::from_secs(5)));
+        // Malformed values fall back to defaults.
+        assert_eq!(env(Some("many"), None, Some("0")), SweepOptions::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_results_still_panics_on_unknown_label() {
+        let registry = PredictorRegistry::with_builtins();
+        let runner = tiny_runner();
+        let report = sweep_serial(&registry, &two_specs(), &runner).unwrap();
+        assert_eq!(report.results("T").len(), 2);
+        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| report.results("nope"))).is_err());
     }
 
     #[test]

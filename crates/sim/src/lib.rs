@@ -21,16 +21,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod fault;
+pub mod journal;
 pub mod predictor;
 pub mod registry;
 pub mod runner;
 pub mod simulate;
 pub mod storage;
 
-pub use engine::{sweep, sweep_serial, SweepOptions, SweepReport};
+pub use engine::{
+    sweep, sweep_inputs, sweep_serial, JobOutcome, JobRecord, JobStatus, RetryPolicy,
+    RunSummary, SweepError, SweepOptions, SweepReport, TraceInput,
+};
+pub use fault::{Fault, FaultPlan, FaultPlanParseError};
+pub use journal::{Journal, JournalError};
 pub use predictor::ConditionalPredictor;
 pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
 pub use simulate::{
-    mean_mpki, simulate, simulate_with_intervals, IntervalPoint, SimResult,
+    mean_mpki, simulate, simulate_with_intervals, simulate_with_intervals_while,
+    IntervalPoint, SimResult, SimulationAborted,
 };
 pub use storage::StorageBreakdown;

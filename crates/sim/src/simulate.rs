@@ -124,19 +124,40 @@ pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Tra
     simulate_with_intervals(predictor, trace, 0).0
 }
 
-/// [`simulate`], additionally collecting windowed counts every
-/// `interval_insts` committed instructions (`0` disables collection and
-/// returns an empty vector).
+/// Marker error: a cancellable simulation observed its cancellation
+/// signal and stopped before finishing the trace. Partial counts are
+/// intentionally discarded — an aborted job has no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationAborted;
+
+impl fmt::Display for SimulationAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation aborted by cancellation signal")
+    }
+}
+
+impl std::error::Error for SimulationAborted {}
+
+/// How many records a cancellable simulation processes between
+/// cancellation checks. Coarse enough to keep the signal off the hot
+/// path, fine enough that a watchdogged job stops within microseconds
+/// of its flag being raised.
+pub const CANCEL_CHECK_RECORDS: u64 = 4096;
+
+/// [`simulate_with_intervals`] with a cooperative cancellation point:
+/// `cancelled` is polled every [`CANCEL_CHECK_RECORDS`] records, and a
+/// `true` return abandons the run with [`SimulationAborted`].
 ///
-/// Window boundaries land on record boundaries, so a window may overrun
-/// `interval_insts` by at most one record; the final (possibly short)
-/// window is always emitted when any instructions remain. Summing the
-/// interval counts always reproduces the totals in the [`SimResult`].
-pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
+/// This is the mechanism behind the sweep engine's per-job wall-clock
+/// timeout — the watchdog raises a flag, the simulation loop observes
+/// it here. Cancellation never alters results: a run that completes is
+/// bit-identical to an uncancellable one.
+pub fn simulate_with_intervals_while<P: ConditionalPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
     interval_insts: u64,
-) -> (SimResult, Vec<IntervalPoint>) {
+    cancelled: &mut dyn FnMut() -> bool,
+) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
     let mut conditional_branches = 0u64;
     let mut mispredictions = 0u64;
     let mut instructions = 0u64;
@@ -146,7 +167,10 @@ pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
         conditional_branches: 0,
         mispredictions: 0,
     };
-    for record in trace {
+    for (i, record) in trace.records().iter().enumerate() {
+        if (i as u64).is_multiple_of(CANCEL_CHECK_RECORDS) && cancelled() {
+            return Err(SimulationAborted);
+        }
         instructions += record.instructions();
         window.instructions += record.instructions();
         if record.kind.is_conditional() {
@@ -180,7 +204,24 @@ pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
         mispredictions,
         instructions,
     };
-    (result, intervals)
+    Ok((result, intervals))
+}
+
+/// [`simulate`], additionally collecting windowed counts every
+/// `interval_insts` committed instructions (`0` disables collection and
+/// returns an empty vector).
+///
+/// Window boundaries land on record boundaries, so a window may overrun
+/// `interval_insts` by at most one record; the final (possibly short)
+/// window is always emitted when any instructions remain. Summing the
+/// interval counts always reproduces the totals in the [`SimResult`].
+pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    interval_insts: u64,
+) -> (SimResult, Vec<IntervalPoint>) {
+    simulate_with_intervals_while(predictor, trace, interval_insts, &mut || false)
+        .expect("never-cancelled simulation cannot abort")
 }
 
 /// Runs `predictor` over a stream of records without collecting a trace
@@ -311,6 +352,25 @@ mod tests {
         let (r2, none) = simulate_with_intervals(&mut p2, &trace, 0);
         assert_eq!(r2, result);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn cancellable_simulation_aborts_and_completes() {
+        let trace = trace_tnt();
+        // Immediate cancellation aborts before any record.
+        let mut p = StaticPredictor::always_taken();
+        assert_eq!(
+            simulate_with_intervals_while(&mut p, &trace, 0, &mut || true),
+            Err(SimulationAborted)
+        );
+        // A never-firing signal reproduces the plain path exactly.
+        let mut p1 = StaticPredictor::always_taken();
+        let mut p2 = StaticPredictor::always_taken();
+        let plain = simulate_with_intervals(&mut p1, &trace, 10);
+        let cancellable =
+            simulate_with_intervals_while(&mut p2, &trace, 10, &mut || false).unwrap();
+        assert_eq!(plain, cancellable);
+        assert!(!format!("{SimulationAborted}").is_empty());
     }
 
     #[test]

@@ -407,6 +407,132 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceFormatError> {
     Ok(Trace::new(name, records))
 }
 
+/// Opens and fully reads (and thereby validates) a trace file.
+///
+/// Every format check the streaming reader performs — magic, version,
+/// varint shape, branch kinds, the footer count and checksum — runs
+/// before a single record is handed to a simulation, so a corrupt file
+/// surfaces as one structured [`TraceFormatError`] at load time instead
+/// of garbage results later.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be opened or fails any format
+/// validation.
+pub fn read_trace_file(path: impl AsRef<std::path::Path>) -> Result<Trace, TraceFormatError> {
+    let file = std::fs::File::open(path)?;
+    read_trace(std::io::BufReader::new(file))
+}
+
+pub mod corrupt {
+    //! Deterministic trace-stream corruption, for fault injection and
+    //! robustness tests.
+    //!
+    //! Each [`CorruptKind`] names one [`TraceFormatError`] variant;
+    //! [`corrupted`] serializes a healthy trace and then mutates exactly
+    //! the bytes needed so that reading the stream back fails with that
+    //! variant. The sweep engine's fault-injection harness uses this to
+    //! manufacture *real* trace-parse failures (the error path through
+    //! `read_trace` is genuinely exercised, not simulated with a
+    //! hand-built error value).
+
+    use super::{write_trace, Trace, END_TAG, MAGIC};
+
+    /// Which [`super::TraceFormatError`] variant a corruption provokes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum CorruptKind {
+        /// Overwrites the magic → [`super::TraceFormatError::BadMagic`].
+        BadMagic,
+        /// Bumps the version → [`super::TraceFormatError::UnsupportedVersion`].
+        UnsupportedVersion,
+        /// Over-long name-length varint → [`super::TraceFormatError::MalformedVarint`].
+        MalformedVarint,
+        /// Flips a record's taken bit → [`super::TraceFormatError::ChecksumMismatch`].
+        ChecksumMismatch,
+        /// Bumps the footer count → [`super::TraceFormatError::CountMismatch`].
+        CountMismatch,
+        /// Invalid branch-kind discriminant → [`super::TraceFormatError::BadKind`].
+        BadKind,
+        /// Non-UTF-8 name byte → [`super::TraceFormatError::BadName`].
+        BadName,
+    }
+
+    impl CorruptKind {
+        /// Every corruption kind, one per recoverable reader error.
+        pub const ALL: [CorruptKind; 7] = [
+            CorruptKind::BadMagic,
+            CorruptKind::UnsupportedVersion,
+            CorruptKind::MalformedVarint,
+            CorruptKind::ChecksumMismatch,
+            CorruptKind::CountMismatch,
+            CorruptKind::BadKind,
+            CorruptKind::BadName,
+        ];
+
+        /// Stable kebab-case name (used by `--fault-plan io@JOB=KIND`).
+        pub fn name(self) -> &'static str {
+            match self {
+                CorruptKind::BadMagic => "bad-magic",
+                CorruptKind::UnsupportedVersion => "bad-version",
+                CorruptKind::MalformedVarint => "bad-varint",
+                CorruptKind::ChecksumMismatch => "checksum",
+                CorruptKind::CountMismatch => "count",
+                CorruptKind::BadKind => "bad-kind",
+                CorruptKind::BadName => "bad-name",
+            }
+        }
+
+        /// Parses the [`CorruptKind::name`] form.
+        pub fn parse(text: &str) -> Option<Self> {
+            Self::ALL.iter().copied().find(|k| k.name() == text)
+        }
+    }
+
+    /// Serializes `trace` and corrupts the bytes to provoke `kind` on
+    /// read-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not leave room for surgical corruption:
+    /// it needs 1–126 records and a 1–126 byte ASCII name (so the name
+    /// and footer-count varints are single bytes at known offsets).
+    /// Every in-tree synthetic trace and test fixture satisfies this
+    /// after truncation.
+    pub fn corrupted(trace: &Trace, kind: CorruptKind) -> Vec<u8> {
+        let name_len = trace.name().len();
+        assert!(
+            (1..127).contains(&name_len) && trace.name().is_ascii(),
+            "corrupted() needs a 1-126 byte ASCII trace name"
+        );
+        assert!(
+            (1..127).contains(&trace.len()),
+            "corrupted() needs 1-126 records, got {}",
+            trace.len()
+        );
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace).expect("in-memory serialization cannot fail");
+        // Layout: magic[0..4] version[4..6] name_len@6 name[7..7+len]
+        // records... END_TAG count_varint checksum[8].
+        let first_tag = 4 + 2 + 1 + name_len;
+        let count_at = buf.len() - 9;
+        debug_assert_eq!(buf[0..4], MAGIC);
+        debug_assert_eq!(buf[count_at - 1], END_TAG);
+        match kind {
+            CorruptKind::BadMagic => buf[0] = b'X',
+            CorruptKind::UnsupportedVersion => buf[4..6].copy_from_slice(&99u16.to_le_bytes()),
+            // 11 continuation bytes push the varint shift past 64 bits.
+            CorruptKind::MalformedVarint => {
+                buf.splice(6..7, std::iter::repeat_n(0x80, 11));
+            }
+            CorruptKind::ChecksumMismatch => buf[first_tag] ^= 0x80,
+            CorruptKind::CountMismatch => buf[count_at] += 1,
+            CorruptKind::BadKind => buf[first_tag] = 0x7E,
+            CorruptKind::BadName => buf[7] = 0xFF,
+        }
+        buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +631,68 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn every_corrupt_kind_provokes_its_error() {
+        use corrupt::{corrupted, CorruptKind};
+        let trace = sample_trace();
+        for kind in CorruptKind::ALL {
+            let buf = corrupted(&trace, kind);
+            let err = read_trace(&buf[..]).expect_err("corrupted stream must fail");
+            let matches = match kind {
+                CorruptKind::BadMagic => matches!(err, TraceFormatError::BadMagic(_)),
+                CorruptKind::UnsupportedVersion => {
+                    matches!(err, TraceFormatError::UnsupportedVersion(99))
+                }
+                CorruptKind::MalformedVarint => {
+                    matches!(err, TraceFormatError::MalformedVarint)
+                }
+                CorruptKind::ChecksumMismatch => {
+                    matches!(err, TraceFormatError::ChecksumMismatch { .. })
+                }
+                CorruptKind::CountMismatch => {
+                    matches!(err, TraceFormatError::CountMismatch { .. })
+                }
+                CorruptKind::BadKind => matches!(err, TraceFormatError::BadKind(0x7E)),
+                CorruptKind::BadName => matches!(err, TraceFormatError::BadName),
+            };
+            assert!(matches, "{kind:?} produced {err:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_kind_names_round_trip() {
+        use corrupt::CorruptKind;
+        for kind in CorruptKind::ALL {
+            assert_eq!(CorruptKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(CorruptKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn read_trace_file_round_trips_and_validates() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("bfbp-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bfbt");
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        assert_eq!(read_trace_file(&path).unwrap(), trace);
+
+        let bad = dir.join("bad.bfbt");
+        std::fs::write(&bad, corrupt::corrupted(&trace, corrupt::CorruptKind::ChecksumMismatch))
+            .unwrap();
+        assert!(matches!(
+            read_trace_file(&bad),
+            Err(TraceFormatError::ChecksumMismatch { .. })
+        ));
+        assert!(matches!(
+            read_trace_file(dir.join("missing.bfbt")),
+            Err(TraceFormatError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

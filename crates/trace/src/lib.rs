@@ -32,5 +32,7 @@ pub mod rng;
 pub mod stats;
 pub mod synth;
 
-pub use format::{read_trace, write_trace, TraceFormatError, TraceReader, TraceWriter};
+pub use format::{
+    read_trace, read_trace_file, write_trace, TraceFormatError, TraceReader, TraceWriter,
+};
 pub use record::{BranchKind, BranchRecord, Trace};

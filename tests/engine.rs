@@ -59,12 +59,12 @@ fn engine_matches_the_single_threaded_runner() {
 
     let report = sweep(
         &registry,
-        &[spec.clone()],
+        std::slice::from_ref(&spec),
         &runner,
         &SweepOptions::default().with_threads(4),
     )
     .expect("sweep");
-    let engine_results = report.results("gshare");
+    let engine_results = report.try_results("gshare").expect("gshare series exists");
 
     #[allow(deprecated)]
     let runner_results = runner.run(|_| {
@@ -126,10 +126,12 @@ fn sweep_report_carries_timing_and_interval_data() {
     assert_eq!(report.cpu(), job_sum);
     assert!(report.cpu().as_nanos() > 0);
     assert!(report.speedup() > 0.0);
+    assert!(report.is_fully_ok());
     for job in report.jobs() {
-        assert!(!job.intervals.is_empty(), "interval windows requested");
-        let misses: u64 = job.intervals.iter().map(|w| w.mispredictions).sum();
-        assert_eq!(misses, job.result.mispredictions());
+        let record = job.record().expect("healthy sweep job");
+        assert!(!record.intervals.is_empty(), "interval windows requested");
+        let misses: u64 = record.intervals.iter().map(|w| w.mispredictions).sum();
+        assert_eq!(misses, record.result.mispredictions());
     }
 
     let json = report.to_json();

@@ -1,0 +1,282 @@
+//! Integration tests for the fault-tolerance layer: per-job isolation
+//! (panic / timeout / trace corruption), the `bfbp-sweep/2` status
+//! schema, checkpoint/resume through the journal, and determinism of
+//! the degraded paths.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use bfbp::sim::engine::{
+    sweep, sweep_inputs, JobStatus, SweepError, SweepOptions, TraceInput,
+};
+use bfbp::sim::fault::FaultPlan;
+use bfbp::sim::journal::JournalError;
+use bfbp::sim::registry::PredictorSpec;
+use bfbp::sim::runner::SuiteRunner;
+use bfbp::trace::format::{corrupt, write_trace};
+use bfbp::trace::synth::suite;
+
+fn small_runner() -> SuiteRunner {
+    let specs: Vec<_> = ["INT1", "MM2"]
+        .iter()
+        .map(|n| suite::find(n).expect("trace in suite"))
+        .collect();
+    SuiteRunner::from_specs(specs, 0.02)
+}
+
+fn small_specs() -> Vec<PredictorSpec> {
+    vec![
+        PredictorSpec::new("gshare").labeled("g"),
+        PredictorSpec::new("bimodal").labeled("b"),
+    ]
+}
+
+/// A unique scratch path under the target temp dir.
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bfbp-fault-tests-{}",
+        std::process::id()
+    ));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(format!("{}-{name}", SEQ.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// The acceptance scenario from the fault-tolerance issue: a four-job
+/// sweep where one job panics, one times out, and one hits a corrupt
+/// trace. The sweep must complete the remaining job, record accurate
+/// per-job statuses, and a `--resume` of the journal must re-execute
+/// only the three unhealthy jobs — producing a results document
+/// byte-identical to an all-healthy run.
+#[test]
+fn acceptance_panic_timeout_corruption_then_resume() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let specs = small_specs();
+    let journal = scratch("acceptance.journal");
+
+    // Round 1: jobs 0 (panic), 1 (delayed into the timeout), and
+    // 2 (corrupt trace load) all degrade; job 3 completes.
+    let plan = FaultPlan::new()
+        .panic_at(0)
+        .delay_at(1, 60_000)
+        .trace_error_at(2, corrupt::CorruptKind::ChecksumMismatch);
+    let options = SweepOptions::default()
+        .with_threads(2)
+        .with_timeout(Duration::from_millis(250))
+        .with_fault_plan(plan)
+        .with_journal(&journal);
+    let report = sweep(&registry, &specs, &runner, &options).expect("sweep starts");
+
+    let summary = report.summary();
+    assert_eq!(summary.jobs, 4);
+    assert_eq!(summary.ok, 1, "the healthy job must complete");
+    assert_eq!(summary.failed, 2, "panic + corrupt trace");
+    assert_eq!(summary.timed_out, 1, "delayed job hits the watchdog");
+    assert!(matches!(report.jobs()[0].status, JobStatus::Failed { .. }));
+    assert_eq!(report.jobs()[1].status, JobStatus::TimedOut);
+    assert!(matches!(report.jobs()[2].status, JobStatus::Failed { .. }));
+    assert!(report.jobs()[3].is_ok());
+
+    let json = report.results_json();
+    assert!(json.contains("\"schema\": \"bfbp-sweep/2\""));
+    assert!(json.contains("\"status\": \"failed\""));
+    assert!(json.contains("\"status\": \"timed_out\""));
+    assert!(json.contains("\"status\": \"ok\""));
+    assert!(json.contains(
+        "\"summary\": {\"jobs\": 4, \"ok\": 1, \"failed\": 2, \"timed_out\": 1, \"skipped\": 0}"
+    ));
+
+    // The journal holds the schema header plus one line per job.
+    let round1 = fs::read_to_string(&journal).expect("journal written");
+    assert_eq!(round1.lines().count(), 1 + 4, "{round1}");
+    assert!(round1.starts_with("bfbp-journal/1 "), "{round1}");
+
+    // Round 2: resume with the faults gone. Only the three unhealthy
+    // jobs may re-run; the completed one is restored from the journal.
+    let resumed_options = SweepOptions::default()
+        .with_threads(2)
+        .resuming(&journal);
+    let resumed = sweep(&registry, &specs, &runner, &resumed_options).expect("resume");
+    assert!(resumed.is_fully_ok());
+    assert_eq!(resumed.summary().resumed, 1, "one job restored, three re-run");
+    let round2 = fs::read_to_string(&journal).expect("journal appended");
+    assert_eq!(
+        round2.lines().count(),
+        1 + 4 + 3,
+        "resume must append exactly the three re-executed jobs:\n{round2}"
+    );
+
+    // The merged document is byte-identical to a run that never failed.
+    let healthy = sweep(&registry, &specs, &runner, &SweepOptions::default())
+        .expect("healthy sweep");
+    assert_eq!(resumed.results_json(), healthy.results_json());
+}
+
+/// Every `TraceFormatError` variant, injected into one job, must fail
+/// exactly that job and leave the rest of the matrix intact.
+#[test]
+fn every_trace_format_error_fails_exactly_one_job() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let specs = vec![PredictorSpec::new("gshare").labeled("g")];
+    for kind in corrupt::CorruptKind::ALL {
+        let options = SweepOptions::default()
+            .with_threads(1)
+            .with_fault_plan(FaultPlan::new().trace_error_at(1, kind));
+        let report = sweep(&registry, &specs, &runner, &options).expect("sweep starts");
+        let summary = report.summary();
+        assert_eq!(
+            (summary.ok, summary.failed),
+            (1, 1),
+            "kind {} must fail job 1 only",
+            kind.name()
+        );
+        match &report.jobs()[1].status {
+            JobStatus::Failed { error } => assert!(
+                error.starts_with("trace load failed: "),
+                "kind {}: {error}",
+                kind.name()
+            ),
+            other => panic!("kind {}: expected Failed, got {other:?}", kind.name()),
+        }
+        assert!(report.jobs()[0].is_ok(), "kind {}", kind.name());
+    }
+}
+
+/// The degraded document must be as deterministic as the healthy one:
+/// same faults, different thread counts, byte-identical results JSON.
+#[test]
+fn faulted_results_json_is_thread_count_independent() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let specs = small_specs();
+    let plan = FaultPlan::new()
+        .panic_at(1)
+        .skip_at(2)
+        .trace_error_at(0, corrupt::CorruptKind::BadMagic);
+    let serial = sweep(
+        &registry,
+        &specs,
+        &runner,
+        &SweepOptions::serial().with_fault_plan(plan.clone()),
+    )
+    .expect("serial");
+    for threads in [2, 4] {
+        let parallel = sweep(
+            &registry,
+            &specs,
+            &runner,
+            &SweepOptions::default()
+                .with_threads(threads)
+                .with_fault_plan(plan.clone()),
+        )
+        .expect("parallel");
+        assert_eq!(serial.results_json(), parallel.results_json(), "{threads} threads");
+    }
+}
+
+/// On-disk traces: a corrupt file quarantines its column (with a real
+/// parse error in the status) while healthy files sweep normally.
+#[test]
+fn corrupt_trace_file_quarantines_its_column() {
+    let registry = bfbp::default_registry();
+    let healthy_trace = suite::find("INT1").expect("INT1").generate_len(2_000);
+
+    let healthy_path = scratch("healthy.bfbt");
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &healthy_trace).expect("serialize");
+    fs::write(&healthy_path, &bytes).expect("write healthy");
+
+    // corrupt::corrupted needs a small trace (single-byte varint
+    // offsets); corruption severity does not depend on length.
+    let small_trace = suite::find("INT1").expect("INT1").generate_len(100);
+    let corrupt_path = scratch("corrupt.bfbt");
+    fs::write(
+        &corrupt_path,
+        corrupt::corrupted(&small_trace, corrupt::CorruptKind::ChecksumMismatch),
+    )
+    .expect("write corrupt");
+
+    let inputs = [
+        TraceInput::from_file(&healthy_path),
+        TraceInput::from_file(&corrupt_path),
+    ];
+    assert!(matches!(inputs[0], TraceInput::Ready(_)));
+    assert!(matches!(inputs[1], TraceInput::Unavailable { .. }));
+
+    let specs = small_specs();
+    let report = sweep_inputs(&registry, &specs, &inputs, &SweepOptions::default())
+        .expect("sweep starts");
+    let summary = report.summary();
+    assert_eq!((summary.ok, summary.failed), (2, 2));
+    for s in 0..2 {
+        assert!(report.job(s, 0).expect("cell").is_ok());
+        let broken = report.job(s, 1).expect("cell");
+        assert_eq!(broken.attempts, 0, "unavailable traces are never attempted");
+        match &broken.status {
+            JobStatus::Failed { error } => {
+                assert!(error.contains("checksum"), "{error}")
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+}
+
+/// A journal recorded for one matrix must refuse to resume another.
+#[test]
+fn resume_rejects_a_journal_from_a_different_matrix() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let journal = scratch("mismatch.journal");
+
+    let specs_a = small_specs();
+    sweep(
+        &registry,
+        &specs_a,
+        &runner,
+        &SweepOptions::default().with_journal(&journal),
+    )
+    .expect("first sweep");
+
+    let specs_b = vec![PredictorSpec::new("gshare").labeled("other-label")];
+    let err = sweep(
+        &registry,
+        &specs_b,
+        &runner,
+        &SweepOptions::default().resuming(&journal),
+    )
+    .expect_err("mismatched matrix must be rejected");
+    assert!(
+        matches!(
+            err,
+            SweepError::Journal(JournalError::MatrixMismatch { .. })
+        ),
+        "{err}"
+    );
+}
+
+/// A transient fault plus a retry budget must converge to a fully-ok
+/// run, with the extra attempts visible in the per-job accounting.
+#[test]
+fn transient_faults_recover_within_the_retry_budget() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let specs = small_specs();
+    let options = SweepOptions::default()
+        .with_threads(2)
+        .with_retry(bfbp::sim::RetryPolicy::retries(2, Duration::from_millis(1)))
+        .with_fault_plan(FaultPlan::new().flaky_panic_at(0, 2).flaky_panic_at(3, 1));
+    let report = sweep(&registry, &specs, &runner, &options).expect("sweep");
+    assert!(report.is_fully_ok());
+    assert_eq!(report.jobs()[0].attempts, 3);
+    assert_eq!(report.jobs()[1].attempts, 1);
+    assert_eq!(report.jobs()[3].attempts, 2);
+    // Attempt counts are timing metadata, not results: the document is
+    // still byte-identical to a first-try-clean run.
+    let clean = sweep(&registry, &specs, &runner, &SweepOptions::default())
+        .expect("clean sweep");
+    assert_eq!(report.results_json(), clean.results_json());
+}
