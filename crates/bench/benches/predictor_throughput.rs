@@ -46,7 +46,10 @@ fn bench_predictors(c: &mut Criterion) {
         };
     }
 
-    bench!("piecewise_linear_64kb", PiecewiseLinear::conventional_64kb());
+    bench!(
+        "piecewise_linear_64kb",
+        PiecewiseLinear::conventional_64kb()
+    );
     bench!("oh_snap_64kb", ScaledNeural::budget_64kb());
     bench!("isl_tage_15", isl_tage(15));
     bench!("isl_tage_10", isl_tage(10));

@@ -12,13 +12,24 @@ fn main() {
     let registry = bfbp::default_registry();
     let runner = SuiteRunner::generate(scale);
     let labels = [
-        "pwl", "snap", "tage15", "tage10", "bf-n(full)", "bf-n(fh)", "bf-n(bf)", "bf-tage10",
+        "pwl",
+        "snap",
+        "tage15",
+        "tage10",
+        "bf-n(full)",
+        "bf-n(fh)",
+        "bf-n(bf)",
+        "bf-tage10",
     ];
     let specs = [
         PredictorSpec::new("piecewise").labeled(labels[0]),
         PredictorSpec::new("oh-snap").labeled(labels[1]),
-        PredictorSpec::new("isl-tage").with("tables", 15usize).labeled(labels[2]),
-        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled(labels[3]),
+        PredictorSpec::new("isl-tage")
+            .with("tables", 15usize)
+            .labeled(labels[2]),
+        PredictorSpec::new("isl-tage")
+            .with("tables", 10usize)
+            .labeled(labels[3]),
         PredictorSpec::new("bf-neural").labeled(labels[4]),
         PredictorSpec::new("bf-neural")
             .with("history-mode", "unfiltered")

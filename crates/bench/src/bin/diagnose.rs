@@ -1,51 +1,104 @@
-//! Development diagnostic: per-PC misprediction breakdown for one trace
-//! and one predictor spec (e.g. `diagnose SPEC03 isl-tage:tables=10`).
+//! Development diagnostic: per-PC misprediction attribution (the H2P
+//! table) and predictor-introspection counters for one trace and one
+//! predictor spec — rendered from the same `bfbp_sim::obs` source the
+//! sweep engine exports, so the human view and `--json` never diverge.
+//!
+//! ```sh
+//! diagnose [--json] [--top N] [TRACE [SPEC]]
+//! ```
+//!
+//! Defaults: trace `SPEC03`, spec `isl-tage:tables=10`, top 20.
 
-use std::collections::HashMap;
+use std::process::ExitCode;
 
+use bfbp_sim::obs::{job_obs_json, JobObs};
 use bfbp_sim::registry::PredictorSpec;
+use bfbp_sim::simulate::simulate_with_intervals_observed;
 use bfbp_trace::synth::suite;
 
-fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "SPEC03".into());
-    let which = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "isl-tage:tables=10".into());
-    let registry = bfbp::default_registry();
-    let spec = PredictorSpec::parse(&which).expect("predictor spec");
-    let mut p = registry.build_spec(&spec).unwrap_or_else(|e| {
-        panic!(
-            "cannot build {which:?}: {e} (registered: {})",
-            registry.names().join(", ")
-        )
-    });
-    let trace_spec = suite::find(&name).expect("trace name");
-    let trace = trace_spec.generate();
-    let mut per_pc: HashMap<u64, (u64, u64, u64)> = HashMap::new(); // (mispredicts, total, late mispredicts)
-    let n = trace.len();
-    for (i, r) in trace.iter().enumerate() {
-        if r.kind.is_conditional() {
-            let guess = p.predict(r.pc);
-            let e = per_pc.entry(r.pc).or_default();
-            e.1 += 1;
-            if guess != r.taken {
-                e.0 += 1;
-                if i > n / 2 {
-                    e.2 += 1;
-                }
-            }
-            p.update(r.pc, r.taken, r.target);
-        } else {
-            p.track_other(r);
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut top = 20usize;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--top" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage("--top needs a count"),
+            },
+            other if other.starts_with("--") => return usage(&format!("unknown flag {other:?}")),
+            other => positional.push(other.to_owned()),
         }
     }
-    let total_misp: u64 = per_pc.values().map(|v| v.0).sum();
-    let total: u64 = per_pc.values().map(|v| v.1).sum();
-    println!("{name} / {which}: {total} cond, {total_misp} misp ({:.2}%)", 100.0*total_misp as f64/total as f64);
-    let mut rows: Vec<(u64, u64, u64, u64)> = per_pc.iter().map(|(pc, (m, t, l))| (*pc, *m, *t, *l)).collect();
-    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
-    println!("pc, misp, execs, rate, share, late-half-rate:");
-    for (pc, m, t, l) in rows.iter().take(20) {
-        println!("  {pc:#x}  {m:>6}  {t:>8}  {:>5.1}%  {:>5.1}%  late {:>5.1}%", 100.0 * *m as f64 / *t as f64, 100.0 * *m as f64 / total_misp as f64, 100.0 * *l as f64 / (*t as f64 / 2.0));
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "SPEC03".into());
+    let which = positional
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "isl-tage:tables=10".into());
+
+    let registry = bfbp::default_registry();
+    let spec = match PredictorSpec::parse(&which) {
+        Ok(s) => s,
+        Err(e) => return usage(&format!("bad spec {which:?}: {e}")),
+    };
+    let mut predictor = match registry.build_spec(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!(
+                "cannot build {which:?}: {e} (registered: {})",
+                registry.names().join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(trace_spec) = suite::find(&name) else {
+        return usage(&format!("unknown trace {name:?}"));
+    };
+    let trace = trace_spec.generate();
+
+    let mut obs = JobObs::default();
+    let (result, _) = simulate_with_intervals_observed(
+        predictor.as_mut(),
+        &trace,
+        0,
+        &mut || false,
+        &mut |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted),
+    )
+    .expect("never cancelled");
+    obs.metrics
+        .counter("sim.instructions", result.instructions());
+    obs.metrics
+        .counter("sim.conditional_branches", result.conditional_branches());
+    obs.metrics
+        .counter("sim.mispredictions", result.mispredictions());
+    if let Some(introspect) = predictor.introspection() {
+        introspect.introspect(&mut obs.metrics);
     }
+
+    if json {
+        println!("{}", job_obs_json(&which, &name, Some(&obs), top));
+    } else {
+        println!(
+            "{name} / {which}: {} cond, {} misp ({:.3} MPKI)",
+            result.conditional_branches(),
+            result.mispredictions(),
+            result.mpki()
+        );
+        println!("\ntop {top} hard-to-predict branches:");
+        print!("{}", obs.h2p.render_table(top));
+        println!("\nintrospection:");
+        print!("{}", obs.metrics.render_human());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: diagnose [--json] [--top N] [TRACE [SPEC]]");
+    ExitCode::FAILURE
 }

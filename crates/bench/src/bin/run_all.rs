@@ -5,14 +5,17 @@
 //! (they export `BFBP_SWEEP_RETRIES` / `BFBP_SWEEP_TIMEOUT_MS`, which
 //! the experiment driver reads per sweep), so one pathological job
 //! degrades to a partial figure instead of killing the whole run.
+//!
+//! `--metrics` (`BFBP_SWEEP_METRICS=1`) collects per-job introspection
+//! metrics and H2P tables, written as `<run>.metrics.json` beside each
+//! sweep's results; `--events PATH` (`BFBP_SWEEP_EVENTS`) appends every
+//! sweep's span/event journal to one shared `bfbp-events/1` JSONL file.
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--retries" => match args.next() {
-                Some(n) if n.parse::<u32>().is_ok() => {
-                    std::env::set_var("BFBP_SWEEP_RETRIES", n)
-                }
+                Some(n) if n.parse::<u32>().is_ok() => std::env::set_var("BFBP_SWEEP_RETRIES", n),
                 _ => die("--retries needs a count"),
             },
             "--timeout" => match args.next() {
@@ -20,6 +23,11 @@ fn main() {
                     std::env::set_var("BFBP_SWEEP_TIMEOUT_MS", ms)
                 }
                 _ => die("--timeout needs milliseconds"),
+            },
+            "--metrics" => std::env::set_var("BFBP_SWEEP_METRICS", "1"),
+            "--events" => match args.next() {
+                Some(path) if !path.is_empty() => std::env::set_var("BFBP_SWEEP_EVENTS", path),
+                _ => die("--events needs a path"),
             },
             other => die(&format!("unknown argument {other:?}")),
         }
@@ -40,6 +48,6 @@ fn main() {
 
 fn die(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: run_all [--retries N] [--timeout MS]");
+    eprintln!("usage: run_all [--retries N] [--timeout MS] [--metrics] [--events PATH]");
     std::process::exit(2);
 }

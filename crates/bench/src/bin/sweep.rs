@@ -7,6 +7,7 @@
 //! sweep [--threads N] [--run NAME] [--interval INSTS]
 //!       [--retries N] [--backoff MS] [--timeout MS]
 //!       [--journal PATH] [--resume PATH]
+//!       [--metrics-out PATH] [--events-out PATH] [--progress]
 //!       [--trace-file PATH]... [--fault-plan PLAN]
 //!       <spec> [<spec>...]
 //! sweep --list
@@ -17,6 +18,13 @@
 //! `gshare:log-size=20`. Trace lengths scale with `BFBP_TRACE_SCALE`
 //! (default 1.0); the JSON lands in `target/results/<run>.json` unless
 //! `BFBP_RESULTS_DIR` overrides the directory.
+//!
+//! Observability: `--metrics-out` collects per-job predictor
+//! introspection counters and the top-N hard-to-predict PC table into a
+//! `bfbp-metrics/1` document (never perturbing the `bfbp-sweep/2`
+//! results); `--events-out` appends a `bfbp-events/1` JSONL span/event
+//! journal (sweep → job spans, retries, timeouts); `--progress` draws a
+//! live job-completion line on stderr.
 //!
 //! Fault tolerance: failed jobs are retried `--retries` times with
 //! `--backoff` between attempts; `--timeout` bounds each job's wall
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
     let mut run = "sweep".to_owned();
     let mut specs: Vec<PredictorSpec> = Vec::new();
     let mut trace_files: Vec<String> = Vec::new();
+    let mut metrics_out: Option<std::path::PathBuf> = None;
     let mut retries: u32 = options.retry.max_attempts.saturating_sub(1);
     let mut backoff = options.retry.backoff;
 
@@ -87,6 +96,18 @@ fn main() -> ExitCode {
                 Some(path) => options = options.resuming(path),
                 None => return usage("--resume needs a journal path"),
             },
+            "--metrics-out" => match args.next() {
+                Some(path) => {
+                    options.metrics = true;
+                    metrics_out = Some(path.into());
+                }
+                None => return usage("--metrics-out needs a path"),
+            },
+            "--events-out" => match args.next() {
+                Some(path) => options.events = Some(path.into()),
+                None => return usage("--events-out needs a path"),
+            },
+            "--progress" => options.progress = true,
             "--fault-plan" => match args.next().map(|v| FaultPlan::parse(&v)) {
                 Some(Ok(plan)) => options.fault_plan = Some(plan),
                 Some(Err(e)) => return usage(&e.to_string()),
@@ -127,8 +148,7 @@ fn main() -> ExitCode {
                 trace_files.len()
             ),
         );
-        let inputs: Vec<TraceInput> =
-            trace_files.iter().map(TraceInput::from_file).collect();
+        let inputs: Vec<TraceInput> = trace_files.iter().map(TraceInput::from_file).collect();
         for input in &inputs {
             if let TraceInput::Unavailable { name, error } = input {
                 eprintln!("warning: trace {name:?} unavailable: {error}");
@@ -153,7 +173,11 @@ fn main() -> ExitCode {
     } else {
         // Partial results: the per-series table assumes full columns, so
         // report job statuses instead.
-        println!("partial results ({} of {} jobs ok):", report.summary().ok, report.jobs().len());
+        println!(
+            "partial results ({} of {} jobs ok):",
+            report.summary().ok,
+            report.jobs().len()
+        );
         let traces = report.trace_names();
         for (s, info) in report.series().iter().enumerate() {
             for (t, trace) in traces.iter().enumerate() {
@@ -198,6 +222,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = metrics_out {
+        match report.metrics_json() {
+            Some(json) => match std::fs::write(&path, json) {
+                Ok(()) => println!("metrics: {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write metrics JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => eprintln!("warning: no metrics collected (all jobs restored or failed)"),
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -207,6 +243,7 @@ fn usage(err: &str) -> ExitCode {
         "usage: sweep [--threads N] [--run NAME] [--interval INSTS]\n\
                       [--retries N] [--backoff MS] [--timeout MS]\n\
                       [--journal PATH] [--resume PATH]\n\
+                      [--metrics-out PATH] [--events-out PATH] [--progress]\n\
                       [--trace-file PATH]... [--fault-plan PLAN]\n\
                       <spec> [<spec>...]\n\
                 sweep --list\n\

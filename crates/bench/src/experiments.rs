@@ -65,6 +65,13 @@ fn run_sweep_with(
         ),
         Err(e) => eprintln!("warning: could not write results for {run}: {e}"),
     }
+    // With BFBP_SWEEP_METRICS on, the introspection/H2P document lands
+    // beside the results; without it this is a no-op (Ok(None)).
+    match report.write_metrics_json(run) {
+        Ok(Some(path)) => println!("[{run}: metrics -> {}]", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write metrics for {run}: {e}"),
+    }
     let summary = report.summary();
     if summary.ok < summary.jobs {
         eprintln!(
@@ -120,7 +127,9 @@ pub fn fig02_bias(scale: f64) -> Vec<f64> {
 fn fig08_specs() -> Vec<PredictorSpec> {
     vec![
         PredictorSpec::new("oh-snap").labeled("OH-SNAP"),
-        PredictorSpec::new("isl-tage").with("sc", false).labeled("TAGE"),
+        PredictorSpec::new("isl-tage")
+            .with("sc", false)
+            .labeled("TAGE"),
         PredictorSpec::new("bf-neural").labeled("BF-Neural"),
     ]
 }
@@ -139,10 +148,7 @@ pub fn fig08_mpki(scale: f64) -> (f64, f64, f64) {
         series_results(&report, "TAGE"),
         series_results(&report, "BF-Neural"),
     );
-    print_mpki_table(
-        &["OH-SNAP", "TAGE", "BF-Neural"],
-        &[snap, tage, bf],
-    );
+    print_mpki_table(&["OH-SNAP", "TAGE", "BF-Neural"], &[snap, tage, bf]);
     let result = (
         report.mean_mpki("OH-SNAP"),
         report.mean_mpki("TAGE"),
@@ -273,8 +279,12 @@ pub fn fig11_relative(scale: f64) -> Vec<(String, f64, f64)> {
          on long-history traces, loses on SPEC07/FP2/MM/SERV",
     );
     let specs = [
-        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("t10"),
-        PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("t15"),
+        PredictorSpec::new("isl-tage")
+            .with("tables", 10usize)
+            .labeled("t10"),
+        PredictorSpec::new("isl-tage")
+            .with("tables", 15usize)
+            .labeled("t15"),
         PredictorSpec::new("bf-isl-tage").labeled("bf10"),
     ];
     let report = run_sweep(&specs, scale, "fig11");
@@ -338,7 +348,12 @@ pub fn fig12_hits(scale: f64) -> Vec<(String, f64, f64)> {
         simulate(&mut bf, &trace);
 
         println!("\n{name}:");
-        println!("{}{}{}", cell("table", 8), cell("TAGE-15 %", 12), cell("BF-TAGE-10 %", 12));
+        println!(
+            "{}{}{}",
+            cell("table", 8),
+            cell("TAGE-15 %", 12),
+            cell("BF-TAGE-10 %", 12)
+        );
         let ts = tage.provider_stats();
         let bs = bf.provider_stats();
         for i in 0..15 {
@@ -449,7 +464,9 @@ pub fn headline_results(scale: f64) -> Vec<(String, Vec<SimResult>)> {
     let runner = SuiteRunner::generate(scale);
     let specs = [
         PredictorSpec::new("oh-snap"),
-        PredictorSpec::new("isl-tage").with("sc", false).labeled("tage-15"),
+        PredictorSpec::new("isl-tage")
+            .with("sc", false)
+            .labeled("tage-15"),
         PredictorSpec::new("bf-neural"),
     ];
     let report = sweep(&registry, &specs, &runner, &SweepOptions::default())

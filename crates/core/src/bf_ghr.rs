@@ -55,6 +55,8 @@ pub struct BfGhr {
     recent: usize,
     max_depth: usize,
     now: u64,
+    commits: u64,
+    non_biased_commits: u64,
 }
 
 impl BfGhr {
@@ -92,6 +94,8 @@ impl BfGhr {
             recent: boundaries[0],
             max_depth: boundaries[boundaries.len() - 1],
             now: 0,
+            commits: 0,
+            non_biased_commits: 0,
         }
     }
 
@@ -123,6 +127,10 @@ impl BfGhr {
     /// non-biased, its hashed address is inserted into the RSy …; later
     /// when B reaches a depth of Ln, it falls out of RSy").
     pub fn commit(&mut self, key: u16, taken: bool, non_biased: bool) {
+        self.commits += 1;
+        if non_biased {
+            self.non_biased_commits += 1;
+        }
         self.unfiltered.push_front(GhrEntry {
             key,
             taken,
@@ -187,16 +195,13 @@ impl BfGhr {
     pub fn collect_mixed(&self, out: &mut Vec<u64>) {
         out.clear();
         for (pos, e) in self.unfiltered.iter().take(self.recent).enumerate() {
-            let word = (u64::from(e.key) << 20)
-                ^ (u64::from(e.taken) << 17)
-                ^ (pos as u64);
+            let word = (u64::from(e.key) << 20) ^ (u64::from(e.taken) << 17) ^ (pos as u64);
             out.push(mix64(word));
         }
         for (seg_id, seg) in self.segments.iter().enumerate() {
             for e in seg.rs.iter() {
-                let word = (e.key << 20)
-                    ^ (u64::from(e.outcome) << 17)
-                    ^ ((seg_id as u64 + 1) << 8);
+                let word =
+                    (e.key << 20) ^ (u64::from(e.outcome) << 17) ^ ((seg_id as u64 + 1) << 8);
                 out.push(mix64(word));
             }
         }
@@ -207,6 +212,26 @@ impl BfGhr {
     /// bits per entry.
     pub fn storage_bits(&self) -> u64 {
         self.max_depth as u64 * 16 + (self.segments.len() * SEGMENT_RS_SIZE) as u64 * 16
+    }
+
+    /// Total branches committed into the history so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Commits flagged non-biased — the entries eligible for segment
+    /// tracking.
+    pub fn non_biased_commits(&self) -> u64 {
+        self.non_biased_commits
+    }
+
+    /// Per-segment fill as `(live_entries, capacity)` pairs, shallowest
+    /// segment first.
+    pub fn segment_fill(&self) -> Vec<(usize, usize)> {
+        self.segments
+            .iter()
+            .map(|s| (s.rs.len(), s.rs.capacity()))
+            .collect()
     }
 }
 
@@ -249,8 +274,8 @@ mod tests {
     fn non_biased_branch_enters_segment_on_crossing() {
         let mut g = tiny();
         g.commit(0x1, true, true); // the tracked branch
-        // Two more commits push it to depth 2 → crosses into segment
-        // [2,4).
+                                   // Two more commits push it to depth 2 → crosses into segment
+                                   // [2,4).
         g.commit(0x2, false, false);
         g.commit(0x3, false, false);
         let mut out = Vec::new();
@@ -315,7 +340,7 @@ mod tests {
     #[test]
     fn segment_stack_capacity_is_bounded() {
         let mut g = tiny(); // segment stacks of 2
-        // Commit many distinct non-biased branches.
+                            // Commit many distinct non-biased branches.
         for k in 0..20u16 {
             g.commit(0x100 + k, true, true);
         }

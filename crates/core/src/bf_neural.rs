@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 
 use bfbp_predictors::history::{mix64, BucketedFolds, GlobalHistory};
 use bfbp_predictors::loop_pred::LoopPredictor;
+use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -257,9 +258,7 @@ impl BfNeural {
                 };
                 format!("bf-neural({mode})")
             },
-            loop_pred: config
-                .loop_predictor
-                .then(LoopPredictor::paper_64_entry),
+            loop_pred: config.loop_predictor.then(LoopPredictor::paper_64_entry),
             scratch: Scratch::default(),
         }
     }
@@ -319,8 +318,7 @@ impl BfNeural {
         let mut key = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ entry.key.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         if self.config.positional {
-            key ^= Self::quantize_pos(entry.position(self.now))
-                .wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            key ^= Self::quantize_pos(entry.position(self.now)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
         }
         if self.config.folded_hist {
             // Fold the recent path leading up to the current branch
@@ -367,13 +365,11 @@ impl BfNeural {
         self.wb[bidx] = (i32::from(self.wb[bidx]) + dir).clamp(-WB_CLAMP, WB_CLAMP) as i8;
         for (age, &idx) in wm_indices.iter().enumerate() {
             let x = if self.unf_hist.bit(age) { 1 } else { -1 };
-            self.wm[idx] =
-                (i32::from(self.wm[idx]) + dir * x).clamp(-WM_CLAMP, WM_CLAMP) as i8;
+            self.wm[idx] = (i32::from(self.wm[idx]) + dir * x).clamp(-WM_CLAMP, WM_CLAMP) as i8;
         }
         for &(idx, outcome) in wrs_terms {
             let x = if outcome { 1 } else { -1 };
-            self.wrs[idx] =
-                (i32::from(self.wrs[idx]) + dir * x).clamp(-WRS_CLAMP, WRS_CLAMP) as i8;
+            self.wrs[idx] = (i32::from(self.wrs[idx]) + dir * x).clamp(-WRS_CLAMP, WRS_CLAMP) as i8;
         }
     }
 
@@ -453,12 +449,7 @@ impl ConditionalPredictor for BfNeural {
                     let perceptron_mispredict = (scratch.sum >= 0) != taken;
                     let below = scratch.sum.abs() <= self.theta;
                     if perceptron_mispredict || below {
-                        self.train_weights(
-                            pc,
-                            taken,
-                            &scratch.wm_indices,
-                            &scratch.wrs_terms,
-                        );
+                        self.train_weights(pc, taken, &scratch.wm_indices, &scratch.wrs_terms);
                     }
                     self.adapt_threshold(perceptron_mispredict, below);
                 }
@@ -508,7 +499,10 @@ impl ConditionalPredictor for BfNeural {
             format!("Wrs 1-D weights ({} entries, 5b)", self.wrs.len()),
             self.wrs.len() as u64 * 5,
         );
-        s.push("Wb bias weights (1024 entries, 8b)", self.wb.len() as u64 * 8);
+        s.push(
+            "Wb bias weights (1024 entries, 8b)",
+            self.wb.len() as u64 * 8,
+        );
         s.push(
             format!("recency stack ({} entries)", self.config.deep_depth),
             self.config.deep_depth as u64 * 16,
@@ -521,6 +515,42 @@ impl ConditionalPredictor for BfNeural {
             s.push_nested("loop", &lp.storage());
         }
         s
+    }
+
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        Some(self)
+    }
+}
+
+impl PredictorIntrospect for BfNeural {
+    fn introspect(&self, metrics: &mut Metrics) {
+        self.classifier.introspect_into(metrics);
+        metrics.gauge("theta", f64::from(self.theta));
+        metrics.gauge(
+            "weights.bias.saturation",
+            saturation_fraction(&self.wb, WB_CLAMP),
+        );
+        metrics.gauge(
+            "weights.wm.saturation",
+            saturation_fraction(&self.wm, WM_CLAMP),
+        );
+        metrics.gauge(
+            "weights.wrs.saturation",
+            saturation_fraction(&self.wrs, WRS_CLAMP),
+        );
+        // Depth distribution of the deep-history entries: how far back the
+        // tracked non-biased branches sit in raw-history terms.
+        const DEPTH_BOUNDS: &[f64] = &[8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 1024.0];
+        let mut live = 0u64;
+        for entry in self.deep.iter().take(self.config.deep_depth) {
+            live += 1;
+            metrics.observe(
+                "recency.depth",
+                DEPTH_BOUNDS,
+                entry.position(self.now) as f64,
+            );
+        }
+        metrics.gauge("recency.fill", live as f64 / self.config.deep_depth as f64);
     }
 }
 
@@ -617,8 +647,7 @@ impl ConditionalPredictor for IdealBfNeural {
             if mispredicted || self.scratch_sum.abs() <= self.theta {
                 let dir = if taken { 1 } else { -1 };
                 let bidx = ((pc >> 2) & 0x3FF) as usize;
-                self.wb[bidx] =
-                    (i32::from(self.wb[bidx]) + dir).clamp(-WB_CLAMP, WB_CLAMP) as i8;
+                self.wb[bidx] = (i32::from(self.wb[bidx]) + dir).clamp(-WB_CLAMP, WB_CLAMP) as i8;
                 let outcomes: Vec<bool> = self
                     .stack
                     .iter()
@@ -829,7 +858,10 @@ mod tests {
             BfNeural::new(BfNeuralConfig::ablation_bias_free_ghist()).name(),
             "bf-neural(ghist-bf+fhist)"
         );
-        assert_eq!(BfNeural::budget_64kb().name(), "bf-neural(ghist-bf+rs+fhist)");
+        assert_eq!(
+            BfNeural::budget_64kb().name(),
+            "bf-neural(ghist-bf+rs+fhist)"
+        );
     }
 
     #[test]

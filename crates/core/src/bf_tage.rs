@@ -9,6 +9,7 @@
 //! history lengths {3, 8, 14, 26, 40, 54, 70, 94, 118, 142}.
 
 use bfbp_predictors::history::{mix64, PathHistory};
+use bfbp_sim::obs::{Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_tage::config::TageConfig;
@@ -16,8 +17,8 @@ use bfbp_tage::isl::{Isl, TageEngine};
 use bfbp_tage::tage::{ProviderStats, TageCore};
 use bfbp_trace::record::BranchRecord;
 
-use crate::bst::{BranchStatus, Bst, Classifier};
 use crate::bf_ghr::BfGhr;
+use crate::bst::{BranchStatus, Bst, Classifier};
 
 /// The BF-TAGE predictor.
 #[derive(Debug, Clone)]
@@ -104,9 +105,8 @@ impl BfTage {
                 consumed += 1;
             }
             let t = &tables[table];
-            let path_mix = mix64(
-                (self.path.value() & 0xFFFF).wrapping_mul(0xC2B2_AE3D + table as u64),
-            );
+            let path_mix =
+                mix64((self.path.value() & 0xFFFF).wrapping_mul(0xC2B2_AE3D + table as u64));
             let raw_idx = pch ^ (pch >> (t.log_size() + 1)) ^ h_idx ^ (path_mix >> 3);
             indices.push(t.mask_index(raw_idx));
             // A second, independent finalization of the same set hash for
@@ -157,6 +157,34 @@ impl ConditionalPredictor for BfTage {
         );
         s.push("path history", u64::from(self.path.len()));
         s
+    }
+
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        Some(self)
+    }
+}
+
+impl PredictorIntrospect for BfTage {
+    fn introspect(&self, metrics: &mut Metrics) {
+        self.core.introspect_into(metrics);
+        self.classifier.introspect_into(metrics);
+        metrics.counter("bf_ghr.commits", self.ghr.commits());
+        metrics.counter("bf_ghr.non_biased_commits", self.ghr.non_biased_commits());
+        let capacity = self.ghr.compressed_capacity();
+        if capacity > 0 {
+            metrics.gauge(
+                "bf_ghr.occupancy",
+                self.ghr.compressed_len() as f64 / capacity as f64,
+            );
+        }
+        // Per-segment recency-stack fill: how much of each depth band's
+        // compressed window is live.
+        const FILL_BOUNDS: &[f64] = &[0.25, 0.5, 0.75, 1.0];
+        for (live, cap) in self.ghr.segment_fill() {
+            if cap > 0 {
+                metrics.observe("bf_ghr.segment_fill", FILL_BOUNDS, live as f64 / cap as f64);
+            }
+        }
     }
 }
 

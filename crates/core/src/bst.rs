@@ -16,6 +16,7 @@
 //! effect that hurts the paper's SERVER traces (§VI-D), reproduced here
 //! by construction.
 
+use bfbp_sim::obs::Metrics;
 use bfbp_trace::rng::Xoshiro256;
 
 /// The detection FSM state of one branch (Figure 5).
@@ -54,6 +55,8 @@ impl BranchStatus {
 pub struct Bst {
     entries: Vec<u8>,
     mask: u64,
+    commits: u64,
+    known_commits: u64,
 }
 
 const S_NOT_FOUND: u8 = 0;
@@ -81,6 +84,8 @@ impl Bst {
         Self {
             entries: vec![S_NOT_FOUND; 1 << log_size],
             mask: (1u64 << log_size) - 1,
+            commits: 0,
+            known_commits: 0,
         }
     }
 
@@ -97,6 +102,10 @@ impl Bst {
     /// status.
     pub fn commit(&mut self, pc: u64, taken: bool) -> BranchStatus {
         let idx = self.index(pc);
+        self.commits += 1;
+        if self.entries[idx] != S_NOT_FOUND {
+            self.known_commits += 1;
+        }
         let next = match (self.entries[idx], taken) {
             (S_NOT_FOUND, true) => S_TAKEN,
             (S_NOT_FOUND, false) => S_NOT_TAKEN,
@@ -124,6 +133,26 @@ impl Bst {
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * 2
     }
+
+    /// Total outcomes committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Commits whose entry was already populated (prior state not
+    /// `NotFound`) — the BST "hit" count.
+    pub fn known_commits(&self) -> u64 {
+        self.known_commits
+    }
+
+    /// Entry counts by state: `[NotFound, Taken, NotTaken, NonBiased]`.
+    pub fn state_counts(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for &e in &self.entries {
+            counts[e.min(S_NON_BIASED) as usize] += 1;
+        }
+        counts
+    }
 }
 
 /// The 3-bit probabilistic BST variant (§IV-B1, "Probabilistic
@@ -141,6 +170,8 @@ pub struct ProbabilisticBst {
     mask: u64,
     rng: Xoshiro256,
     revert_inverse: u64,
+    commits: u64,
+    known_commits: u64,
 }
 
 const P_NOT_FOUND: u8 = 0;
@@ -165,6 +196,8 @@ impl ProbabilisticBst {
             mask: (1u64 << log_size) - 1,
             rng: Xoshiro256::seed_from_u64(0xB57_CAFE),
             revert_inverse,
+            commits: 0,
+            known_commits: 0,
         }
     }
 
@@ -190,6 +223,10 @@ impl ProbabilisticBst {
     pub fn commit(&mut self, pc: u64, taken: bool) -> BranchStatus {
         let idx = self.index(pc);
         let state = self.entries[idx];
+        self.commits += 1;
+        if state != P_NOT_FOUND {
+            self.known_commits += 1;
+        }
         let next = match state {
             P_NOT_FOUND => {
                 if taken {
@@ -246,6 +283,32 @@ impl ProbabilisticBst {
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * 3
     }
+
+    /// Total outcomes committed so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Commits whose entry was already populated (prior state not
+    /// `NotFound`) — the BST "hit" count.
+    pub fn known_commits(&self) -> u64 {
+        self.known_commits
+    }
+
+    /// Entry counts by state: `[NotFound, Taken, NotTaken, NonBiased]`.
+    pub fn state_counts(&self) -> [u64; 4] {
+        let mut counts = [0u64; 4];
+        for &e in &self.entries {
+            let bucket = match Self::decode(e) {
+                BranchStatus::NotFound => 0,
+                BranchStatus::Taken => 1,
+                BranchStatus::NotTaken => 2,
+                BranchStatus::NonBiased => 3,
+            };
+            counts[bucket] += 1;
+        }
+        counts
+    }
 }
 
 /// Runtime-selectable bias classifier used by the BF predictors: the
@@ -287,6 +350,35 @@ impl Classifier {
             Classifier::TwoBit(b) => b.storage_bits(),
             Classifier::Probabilistic(b) => b.storage_bits(),
             Classifier::Static(p) => p.storage_bits(),
+        }
+    }
+
+    /// Exports classifier counters into `metrics` under the `bst.*`
+    /// prefix: commit/hit counts, per-state entry counts, occupancy, and
+    /// the fraction of entries classified non-biased. The static-profile
+    /// variant has no dynamic table and exports nothing.
+    pub fn introspect_into(&self, metrics: &mut Metrics) {
+        let (commits, known, counts) = match self {
+            Classifier::TwoBit(b) => (b.commits(), b.known_commits(), b.state_counts()),
+            Classifier::Probabilistic(b) => (b.commits(), b.known_commits(), b.state_counts()),
+            Classifier::Static(_) => return,
+        };
+        metrics.counter("bst.commits", commits);
+        metrics.counter("bst.known_commits", known);
+        metrics.counter("bst.state.not_found", counts[0]);
+        metrics.counter("bst.state.taken", counts[1]);
+        metrics.counter("bst.state.not_taken", counts[2]);
+        metrics.counter("bst.state.non_biased", counts[3]);
+        let entries: u64 = counts.iter().sum();
+        if entries > 0 {
+            metrics.gauge(
+                "bst.occupancy",
+                (entries - counts[0]) as f64 / entries as f64,
+            );
+            metrics.gauge("bst.non_biased_fraction", counts[3] as f64 / entries as f64);
+        }
+        if commits > 0 {
+            metrics.gauge("bst.hit_rate", known as f64 / commits as f64);
         }
     }
 }
@@ -372,7 +464,10 @@ mod tests {
                 break;
             }
         }
-        assert!(reverted, "expected a probabilistic revert within 200 commits");
+        assert!(
+            reverted,
+            "expected a probabilistic revert within 200 commits"
+        );
     }
 
     #[test]

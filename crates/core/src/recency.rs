@@ -216,7 +216,11 @@ mod tests {
         rs.record(0xC, true, 9);
         let expired = rs.expire(10, 5);
         let keys: Vec<u64> = expired.iter().map(|e| e.key).collect();
-        assert_eq!(keys, vec![0xB, 0xA], "expired in stack (newest-first) order");
+        assert_eq!(
+            keys,
+            vec![0xB, 0xA],
+            "expired in stack (newest-first) order"
+        );
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.depth_of(0xC), Some(0));
     }

@@ -16,8 +16,7 @@ use crate::bst::{Bst, Classifier};
 
 fn bias_free_config(params: &Params) -> Result<TageConfig, BuildError> {
     let tables = params.usize("tables")?;
-    TageConfig::bias_free(tables)
-        .map_err(|e| BuildError::invalid("tables", e.to_string()))
+    TageConfig::bias_free(tables).map_err(|e| BuildError::invalid("tables", e.to_string()))
 }
 
 fn history_mode(text: &str) -> Result<HistoryMode, BuildError> {
@@ -156,9 +155,9 @@ mod tests {
     fn defaults_build_every_entry() {
         let r = registry();
         for name in r.names() {
-            let p = r.build(name, &Params::new()).unwrap_or_else(|e| {
-                panic!("default build of {name} failed: {e}")
-            });
+            let p = r
+                .build(name, &Params::new())
+                .unwrap_or_else(|e| panic!("default build of {name} failed: {e}"));
             assert!(p.storage().total_bits() > 0, "{name} reports no storage");
         }
     }

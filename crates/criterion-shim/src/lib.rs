@@ -117,8 +117,8 @@ impl BenchmarkGroup<'_> {
         // Pick an iteration count so each sample lands near
         // measurement_time / sample_size.
         let sample_budget = self.measurement_time / self.sample_size as u32;
-        let iters = (sample_budget.as_nanos() / per_iter.as_nanos().max(1))
-            .clamp(1, 1 << 24) as u64;
+        let iters =
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
 
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {

@@ -244,7 +244,10 @@ impl PathHistory {
     ///
     /// Panics if `len` is zero or greater than 64.
     pub fn new(len: u32) -> Self {
-        assert!((1..=64).contains(&len), "path history length must be 1..=64");
+        assert!(
+            (1..=64).contains(&len),
+            "path history length must be 1..=64"
+        );
         Self { bits: 0, len }
     }
 

@@ -251,10 +251,7 @@ mod tests {
             for i in 0..trip {
                 let taken = i != trip - 1;
                 if let Some(pred) = p.predict(0x40) {
-                    assert!(
-                        !pred.confident || pred.taken == taken || true,
-                        "tolerated"
-                    );
+                    assert!(!pred.confident || pred.taken == taken || true, "tolerated");
                 }
                 p.update(0x40, taken, true);
             }
@@ -274,7 +271,7 @@ mod tests {
     #[test]
     fn capacity_replacement_prefers_low_confidence() {
         let mut p = LoopPredictor::new(8); // 2 sets x 4 ways
-        // Fill with confident loops.
+                                           // Fill with confident loops.
         for k in 0..16u64 {
             run_loops(&mut p, 0x1000 + k * 4, 4, 10);
         }

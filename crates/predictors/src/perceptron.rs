@@ -4,6 +4,7 @@
 //! one per global-history bit plus a bias weight. The prediction is the
 //! sign of the dot product of the weights with the ±1-encoded history.
 
+use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -110,11 +111,30 @@ impl ConditionalPredictor for Perceptron {
     fn storage(&self) -> StorageBreakdown {
         let mut s = StorageBreakdown::new();
         s.push(
-            format!("perceptron weights ({} rows x {})", self.rows, self.history_len + 1),
+            format!(
+                "perceptron weights ({} rows x {})",
+                self.rows,
+                self.history_len + 1
+            ),
             self.weights.len() as u64 * 8,
         );
         s.push("global history register", self.history_len as u64);
         s
+    }
+
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        Some(self)
+    }
+}
+
+impl PredictorIntrospect for Perceptron {
+    fn introspect(&self, metrics: &mut Metrics) {
+        metrics.counter("weights.total", self.weights.len() as u64);
+        metrics.gauge(
+            "weights.saturation",
+            saturation_fraction(&self.weights, WEIGHT_MAX),
+        );
+        metrics.gauge("theta", f64::from(self.theta));
     }
 }
 

@@ -102,8 +102,7 @@ impl PiecewiseLinear {
     }
 
     fn index(&self, pc: u64, age: usize) -> usize {
-        let mut key = (pc >> 2)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut key = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (self.address_at(age) >> 2).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
             ^ (age as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
         if self.config.folded_hist {
@@ -113,7 +112,8 @@ impl PiecewiseLinear {
     }
 
     fn compute(&mut self, pc: u64) -> i32 {
-        let mut sum = i32::from(self.bias[((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize]);
+        let mut sum =
+            i32::from(self.bias[((pc >> 2) & ((1 << self.config.log_bias) - 1)) as usize]);
         for age in 0..self.config.history_len {
             let idx = self.index(pc, age);
             self.last_indices[age] = idx;
@@ -298,8 +298,6 @@ mod tests {
     #[test]
     fn theta_positive_and_scales_with_history() {
         assert!(small(false).theta() > 0);
-        assert!(
-            PiecewiseLinear::conventional_64kb().theta() > small(false).theta()
-        );
+        assert!(PiecewiseLinear::conventional_64kb().theta() > small(false).theta());
     }
 }

@@ -138,9 +138,9 @@ mod tests {
     fn every_entry_builds_with_defaults() {
         let r = registry();
         for name in r.names() {
-            let p = r.build(name, &Params::new()).unwrap_or_else(|e| {
-                panic!("default build of {name} failed: {e}")
-            });
+            let p = r
+                .build(name, &Params::new())
+                .unwrap_or_else(|e| panic!("default build of {name} failed: {e}"));
             assert!(p.storage().total_bits() > 0, "{name} reports no storage");
         }
     }

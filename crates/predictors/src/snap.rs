@@ -15,6 +15,7 @@
 //! A local-history perceptron component (part of the SNAP family design)
 //! is fused into the sum, covering self-history-periodic branches.
 
+use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -257,7 +258,10 @@ impl ConditionalPredictor for ScaledNeural {
             let lh = self.local_hist[self.local_hist_index(pc)];
             for bit in 0..self.config.local_bits {
                 let x = if (lh >> bit) & 1 == 1 { 1 } else { -1 };
-                clamp_weight(&mut self.local_weights[self.last_local_indices[bit]], dir * x);
+                clamp_weight(
+                    &mut self.local_weights[self.last_local_indices[bit]],
+                    dir * x,
+                );
             }
         }
         self.adapt_threshold(mispredicted, below);
@@ -291,6 +295,34 @@ impl ConditionalPredictor for ScaledNeural {
             (self.config.history_len + self.addresses.len() * 14) as u64,
         );
         s
+    }
+
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        Some(self)
+    }
+}
+
+impl PredictorIntrospect for ScaledNeural {
+    fn introspect(&self, metrics: &mut Metrics) {
+        metrics.gauge(
+            "weights.saturation",
+            saturation_fraction(&self.weights, WEIGHT_MAX),
+        );
+        metrics.gauge(
+            "weights.bias.saturation",
+            saturation_fraction(&self.bias, WEIGHT_MAX),
+        );
+        metrics.gauge(
+            "weights.local.saturation",
+            saturation_fraction(&self.local_weights, WEIGHT_MAX),
+        );
+        metrics.gauge("theta", f64::from(self.theta));
+        // Distribution of the per-depth scaling coefficients in 8.8
+        // fixed point: how sharply SNAP has down-weighted deep history.
+        const COEFF_BOUNDS: &[f64] = &[64.0, 128.0, 192.0, 256.0, 384.0];
+        for &c in &self.coeff {
+            metrics.observe("coeff.value", COEFF_BOUNDS, f64::from(c));
+        }
     }
 }
 
@@ -373,8 +405,7 @@ mod tests {
             p.predict(0x40);
             p.update(0x40, t, 0);
         }
-        let avg: f64 =
-            p.coeff.iter().map(|&c| f64::from(c)).sum::<f64>() / p.coeff.len() as f64;
+        let avg: f64 = p.coeff.iter().map(|&c| f64::from(c)).sum::<f64>() / p.coeff.len() as f64;
         assert!(avg < f64::from(COEFF_ONE) / 2.0, "avg coeff {avg}");
     }
 

@@ -67,10 +67,12 @@ use bfbp_trace::record::{BranchRecord, Trace};
 
 use crate::fault::{Fault, FaultPlan};
 use crate::journal::{self, Journal, JournalError};
+use crate::obs::{self, Event, EventJournal, JobObs, Progress};
 use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
 use crate::runner::SuiteRunner;
 use crate::simulate::{
-    mean_mpki, simulate_with_intervals_while, IntervalPoint, SimResult,
+    mean_mpki, simulate_with_intervals_observed, simulate_with_intervals_while, IntervalPoint,
+    SimResult,
 };
 
 /// Schema identifier of the sweep result document.
@@ -126,6 +128,15 @@ pub struct SweepOptions {
     /// jobs are re-run. Point [`SweepOptions::journal`] at the same file
     /// to keep checkpointing the resumed run.
     pub resume_from: Option<PathBuf>,
+    /// Collect per-job observability: predictor introspection metrics
+    /// and the per-branch H2P attribution table. Never perturbs the
+    /// `bfbp-sweep/2` results document.
+    pub metrics: bool,
+    /// Span/event journal (`bfbp-events/1` JSONL) to append sweep → job
+    /// → interval spans to; `None` disables event emission.
+    pub events: Option<PathBuf>,
+    /// Draw a live stderr progress line (jobs done/failed/ETA).
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -136,7 +147,7 @@ impl Default for SweepOptions {
 
 impl SweepOptions {
     /// The defaults: all cores, 100k-instruction intervals, one attempt,
-    /// no timeout, no faults, no journal.
+    /// no timeout, no faults, no journal, no observability.
     pub fn new() -> Self {
         Self {
             threads: 0,
@@ -146,6 +157,9 @@ impl SweepOptions {
             fault_plan: None,
             journal: None,
             resume_from: None,
+            metrics: false,
+            events: None,
+            progress: false,
         }
     }
 
@@ -196,10 +210,30 @@ impl SweepOptions {
         self
     }
 
-    /// Overlays environment-driven hardening knobs on the defaults:
+    /// Enables per-job metrics/H2P collection.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Appends span/event lines to the `bfbp-events/1` journal at `path`.
+    pub fn with_events(mut self, path: impl Into<PathBuf>) -> Self {
+        self.events = Some(path.into());
+        self
+    }
+
+    /// Enables the live stderr progress line.
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
+    }
+
+    /// Overlays environment-driven knobs on the defaults:
     /// `BFBP_SWEEP_RETRIES` (extra attempts after the first),
-    /// `BFBP_SWEEP_BACKOFF_MS`, and `BFBP_SWEEP_TIMEOUT_MS`. Unset or
-    /// malformed variables leave the defaults untouched.
+    /// `BFBP_SWEEP_BACKOFF_MS`, `BFBP_SWEEP_TIMEOUT_MS`,
+    /// `BFBP_SWEEP_METRICS` (any value except `0`/empty enables
+    /// metrics/H2P collection), and `BFBP_SWEEP_EVENTS` (event-journal
+    /// path). Unset or malformed variables leave the defaults untouched.
     pub fn from_env() -> Self {
         Self::from_env_with(|name| std::env::var(name).ok())
     }
@@ -220,6 +254,12 @@ impl SweepOptions {
         }
         if let Some(ms) = num("BFBP_SWEEP_TIMEOUT_MS").filter(|ms| *ms > 0) {
             options.timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(v) = lookup("BFBP_SWEEP_METRICS") {
+            options.metrics = !v.is_empty() && v != "0";
+        }
+        if let Some(path) = lookup("BFBP_SWEEP_EVENTS").filter(|p| !p.is_empty()) {
+            options.events = Some(PathBuf::from(path));
         }
         options
     }
@@ -421,6 +461,9 @@ pub struct SweepReport {
     trace_names: Vec<String>,
     /// Series-major: `jobs[s * n_traces + t]`.
     jobs: Vec<JobOutcome>,
+    /// Parallel to `jobs`: per-job observability, present only when
+    /// [`SweepOptions::metrics`] was set and the job ran this sweep.
+    obs: Vec<Option<JobObs>>,
     threads: usize,
     wall: Duration,
     resumed: usize,
@@ -451,6 +494,15 @@ impl SweepReport {
     /// The outcome of one (series, trace) cell.
     pub fn job(&self, series: usize, trace: usize) -> Option<&JobOutcome> {
         self.jobs.get(series * self.trace_names.len() + trace)
+    }
+
+    /// The observability record of one (series, trace) cell — `None`
+    /// when metrics collection was off, the job failed, or the job was
+    /// restored from a resume journal.
+    pub fn job_obs(&self, series: usize, trace: usize) -> Option<&JobObs> {
+        self.obs
+            .get(series * self.trace_names.len() + trace)
+            .and_then(Option::as_ref)
     }
 
     fn series_jobs(&self, s: usize) -> &[JobOutcome] {
@@ -634,7 +686,11 @@ impl SweepReport {
                 out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
             }
             out.push_str("     ]}");
-            out.push_str(if s + 1 < self.series.len() { ",\n" } else { "\n" });
+            out.push_str(if s + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push_str("  ],\n");
         let summary = self.summary();
@@ -705,13 +761,68 @@ impl SweepReport {
     /// creating the directory. The directory is `$BFBP_RESULTS_DIR` when
     /// set, else `target/results`. Returns the written path.
     pub fn write_json(&self, run: &str) -> io::Result<PathBuf> {
+        let dir = Self::results_dir()?;
+        let path = dir.join(format!("{run}.json"));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    fn results_dir() -> io::Result<PathBuf> {
         let dir = std::env::var("BFBP_RESULTS_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|_| PathBuf::from("target").join("results"));
         std::fs::create_dir_all(&dir)?;
-        let path = dir.join(format!("{run}.json"));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
+        Ok(dir)
+    }
+
+    /// The `bfbp-metrics/1` document: one entry per job carrying the
+    /// predictor's introspection metrics and its top-N H2P table.
+    /// Deterministic (independent of thread count and scheduling).
+    /// `None` when the sweep ran without [`SweepOptions::metrics`].
+    pub fn metrics_json(&self) -> Option<String> {
+        if self.obs.iter().all(Option::is_none) {
+            return None;
+        }
+        let t = self.trace_names.len();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": ");
+        out.push_str(&json_string(obs::METRICS_SCHEMA));
+        out.push_str(&format!(
+            ",\n  \"h2p_top\": {},\n  \"jobs\": [\n",
+            obs::H2P_TOP_N
+        ));
+        for (s, info) in self.series.iter().enumerate() {
+            for (i, name) in self.trace_names.iter().enumerate() {
+                let job = s * t + i;
+                out.push_str("    ");
+                out.push_str(&obs::job_obs_json(
+                    &info.label,
+                    name,
+                    self.obs[job].as_ref(),
+                    obs::H2P_TOP_N,
+                ));
+                out.push_str(if job + 1 < self.obs.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+        }
+        out.push_str("  ]\n}\n");
+        Some(out)
+    }
+
+    /// Writes [`SweepReport::metrics_json`] to
+    /// `<results-dir>/<run>.metrics.json`; returns `Ok(None)` without
+    /// writing when the sweep collected no metrics.
+    pub fn write_metrics_json(&self, run: &str) -> io::Result<Option<PathBuf>> {
+        let Some(json) = self.metrics_json() else {
+            return Ok(None);
+        };
+        let dir = Self::results_dir()?;
+        let path = dir.join(format!("{run}.metrics.json"));
+        std::fs::write(&path, json)?;
+        Ok(Some(path))
     }
 }
 
@@ -791,6 +902,10 @@ enum AttemptError {
     Cancelled,
 }
 
+/// What one executed job leaves behind: its terminal outcome plus the
+/// optional observability payload (metrics + H2P) of the final attempt.
+type ExecutedJob = (JobOutcome, Option<Box<JobObs>>);
+
 /// Everything a worker needs to run jobs, shared immutably across the
 /// pool.
 struct SweepContext<'a> {
@@ -802,9 +917,28 @@ struct SweepContext<'a> {
     retry: RetryPolicy,
     faults: BTreeMap<usize, Fault>,
     journal: Option<Journal>,
+    /// Collect per-job introspection metrics and H2P attribution.
+    collect_metrics: bool,
+    /// Span/event journal shared by all workers (internally locked).
+    events: Option<EventJournal>,
+    /// Live stderr progress line shared by all workers.
+    progress: Option<Progress>,
 }
 
 impl SweepContext<'_> {
+    fn emit(&self, event: Event) {
+        if let Some(events) = &self.events {
+            events.emit(event);
+        }
+    }
+
+    fn job_event(&self, ev: &'static str, job: usize) -> Event {
+        Event::new(ev)
+            .num("job", job as u64)
+            .str("series", &self.specs[job / self.n_traces].label())
+            .str("trace", self.inputs[job % self.n_traces].name())
+    }
+
     fn run_attempt(
         &self,
         job: usize,
@@ -812,7 +946,7 @@ impl SweepContext<'_> {
         trace: &Arc<Trace>,
         fault: Option<&Fault>,
         cancel: &CancelSignal<'_>,
-    ) -> Result<JobRecord, AttemptError> {
+    ) -> Result<(JobRecord, Option<Box<JobObs>>), AttemptError> {
         let attempt_start = Instant::now();
         match fault {
             // The guard runs the injected delay; a cancelled sleep means
@@ -824,8 +958,8 @@ impl SweepContext<'_> {
             }
             Some(Fault::TraceError { kind }) => {
                 let bytes = corrupt::corrupted(&fault_probe_trace(), *kind);
-                let err = read_trace(&bytes[..])
-                    .expect_err("corrupted probe stream must fail to parse");
+                let err =
+                    read_trace(&bytes[..]).expect_err("corrupted probe stream must fail to parse");
                 return Err(AttemptError::Failed(format!("trace load failed: {err}")));
             }
             _ => {}
@@ -841,18 +975,44 @@ impl SweepContext<'_> {
                 .registry
                 .build_spec(spec)
                 .map_err(|e| AttemptError::Failed(format!("predictor build failed: {e}")))?;
-            simulate_with_intervals_while(
-                predictor.as_mut(),
-                trace,
-                self.interval_insts,
-                &mut || cancel.cancelled(),
-            )
-            .map_err(|_| AttemptError::Cancelled)
-            .map(|(result, intervals)| JobRecord {
-                result,
-                intervals,
-                wall: attempt_start.elapsed(),
-            })
+            let mut obs = self.collect_metrics.then(|| Box::new(JobObs::default()));
+            let sim = match &mut obs {
+                // The observed loop feeds the H2P table; the plain loop
+                // is the byte-for-byte reference path.
+                Some(obs) => simulate_with_intervals_observed(
+                    predictor.as_mut(),
+                    trace,
+                    self.interval_insts,
+                    &mut || cancel.cancelled(),
+                    &mut |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted),
+                ),
+                None => simulate_with_intervals_while(
+                    predictor.as_mut(),
+                    trace,
+                    self.interval_insts,
+                    &mut || cancel.cancelled(),
+                ),
+            };
+            let (result, intervals) = sim.map_err(|_| AttemptError::Cancelled)?;
+            if let Some(obs) = &mut obs {
+                obs.metrics
+                    .counter("sim.instructions", result.instructions());
+                obs.metrics
+                    .counter("sim.conditional_branches", result.conditional_branches());
+                obs.metrics
+                    .counter("sim.mispredictions", result.mispredictions());
+                if let Some(introspect) = predictor.introspection() {
+                    introspect.introspect(&mut obs.metrics);
+                }
+            }
+            Ok((
+                JobRecord {
+                    result,
+                    intervals,
+                    wall: attempt_start.elapsed(),
+                },
+                obs,
+            ))
         }));
         match outcome {
             Ok(result) => result,
@@ -864,67 +1024,144 @@ impl SweepContext<'_> {
     }
 
     /// Runs one job to its terminal status: trace availability check,
-    /// fault lookup, attempt/retry loop, panic isolation.
-    fn run_job(&self, job: usize, cancel: &CancelSignal<'_>) -> JobOutcome {
+    /// fault lookup, attempt/retry loop, panic isolation. Opens a
+    /// `job_open` span in the event journal and always closes it with a
+    /// `job_close` carrying the terminal [`JobStatus`] keyword.
+    fn run_job(&self, job: usize, cancel: &CancelSignal<'_>) -> ExecutedJob {
         let job_start = Instant::now();
+        self.emit(self.job_event("job_open", job));
+        let (outcome, obs) = self.run_job_inner(job, job_start, cancel);
+        if let JobStatus::Ok(record) = &outcome.status {
+            for (index, iv) in record.intervals.iter().enumerate() {
+                self.emit(
+                    Event::new("interval")
+                        .num("job", job as u64)
+                        .num("index", index as u64)
+                        .num("instructions", iv.instructions)
+                        .num("mispredictions", iv.mispredictions)
+                        .float("mpki", iv.mpki()),
+                );
+            }
+        }
+        let mut close = self
+            .job_event("job_close", job)
+            .str("status", outcome.status.name())
+            .num("attempts", u64::from(outcome.attempts))
+            .float("wall_ms", outcome.wall.as_secs_f64() * 1e3);
+        match &outcome.status {
+            JobStatus::Ok(record) => close = close.float("mpki", record.result.mpki()),
+            JobStatus::Failed { error } => close = close.str("error", error),
+            JobStatus::TimedOut | JobStatus::Skipped => {}
+        }
+        self.emit(close);
+        (outcome, obs)
+    }
+
+    fn run_job_inner(
+        &self,
+        job: usize,
+        job_start: Instant,
+        cancel: &CancelSignal<'_>,
+    ) -> ExecutedJob {
         let fault = self.faults.get(&job);
         if matches!(fault, Some(Fault::Skip)) {
-            return JobOutcome {
-                status: JobStatus::Skipped,
-                attempts: 0,
-                wall: job_start.elapsed(),
-            };
+            return (
+                JobOutcome {
+                    status: JobStatus::Skipped,
+                    attempts: 0,
+                    wall: job_start.elapsed(),
+                },
+                None,
+            );
         }
         let trace = match &self.inputs[job % self.n_traces] {
             TraceInput::Ready(trace) => trace.clone(),
             TraceInput::Unavailable { name, error } => {
-                return JobOutcome {
-                    status: JobStatus::Failed {
-                        error: format!("trace {name:?} unavailable: {error}"),
+                return (
+                    JobOutcome {
+                        status: JobStatus::Failed {
+                            error: format!("trace {name:?} unavailable: {error}"),
+                        },
+                        attempts: 0,
+                        wall: job_start.elapsed(),
                     },
-                    attempts: 0,
-                    wall: job_start.elapsed(),
-                };
+                    None,
+                );
             }
         };
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_error = String::new();
         for attempt in 1..=max_attempts {
             match self.run_attempt(job, attempt, &trace, fault, cancel) {
-                Ok(record) => {
-                    return JobOutcome {
-                        status: JobStatus::Ok(record),
-                        attempts: attempt,
-                        wall: job_start.elapsed(),
-                    };
+                Ok((record, obs)) => {
+                    return (
+                        JobOutcome {
+                            status: JobStatus::Ok(record),
+                            attempts: attempt,
+                            wall: job_start.elapsed(),
+                        },
+                        obs,
+                    );
                 }
                 Err(AttemptError::Cancelled) => {
-                    return JobOutcome {
-                        status: JobStatus::TimedOut,
-                        attempts: attempt,
-                        wall: job_start.elapsed(),
-                    };
+                    // The watchdog (or the deadline check) fired: record
+                    // the moment in the journal — the final status alone
+                    // cannot say *when* the budget ran out.
+                    self.emit(
+                        Event::new("timeout")
+                            .num("job", job as u64)
+                            .num("attempt", u64::from(attempt))
+                            .float("wall_ms", job_start.elapsed().as_secs_f64() * 1e3),
+                    );
+                    return (
+                        JobOutcome {
+                            status: JobStatus::TimedOut,
+                            attempts: attempt,
+                            wall: job_start.elapsed(),
+                        },
+                        None,
+                    );
                 }
                 Err(AttemptError::Failed(error)) => {
+                    if attempt < max_attempts {
+                        self.emit(
+                            Event::new("retry")
+                                .num("job", job as u64)
+                                .num("attempt", u64::from(attempt))
+                                .str("error", &error),
+                        );
+                    }
                     last_error = error;
                     if attempt < max_attempts
                         && !self.retry.backoff.is_zero()
                         && !cancellable_sleep(self.retry.backoff, cancel)
                     {
-                        return JobOutcome {
-                            status: JobStatus::TimedOut,
-                            attempts: attempt,
-                            wall: job_start.elapsed(),
-                        };
+                        self.emit(
+                            Event::new("timeout")
+                                .num("job", job as u64)
+                                .num("attempt", u64::from(attempt))
+                                .float("wall_ms", job_start.elapsed().as_secs_f64() * 1e3),
+                        );
+                        return (
+                            JobOutcome {
+                                status: JobStatus::TimedOut,
+                                attempts: attempt,
+                                wall: job_start.elapsed(),
+                            },
+                            None,
+                        );
                     }
                 }
             }
         }
-        JobOutcome {
-            status: JobStatus::Failed { error: last_error },
-            attempts: max_attempts,
-            wall: job_start.elapsed(),
-        }
+        (
+            JobOutcome {
+                status: JobStatus::Failed { error: last_error },
+                attempts: max_attempts,
+                wall: job_start.elapsed(),
+            },
+            None,
+        )
     }
 
     /// Journals a completed job; journal write failures degrade to a
@@ -1024,6 +1261,14 @@ pub fn sweep_inputs(
     }
     .min(pending.len().max(1));
 
+    // The event journal degrades to a warning when unopenable:
+    // observability must never take down a sweep that would otherwise
+    // run.
+    let events = options.events.as_ref().and_then(|path| {
+        EventJournal::open(path)
+            .map_err(|e| eprintln!("warning: cannot open event journal {}: {e}", path.display()))
+            .ok()
+    });
     let context = SweepContext {
         registry,
         specs,
@@ -1037,24 +1282,38 @@ pub fn sweep_inputs(
             .map(|plan| plan.materialized(n_jobs))
             .unwrap_or_default(),
         journal: journal_handle,
+        collect_metrics: options.metrics,
+        events,
+        progress: options.progress.then(|| Progress::new(pending.len())),
     };
+    context.emit(
+        Event::new("sweep_open")
+            .num("jobs", n_jobs as u64)
+            .num("pending", pending.len() as u64)
+            .num("restored", resumed as u64)
+            .num("series", specs.len() as u64)
+            .num("traces", n_traces as u64)
+            .num("threads", threads as u64),
+    );
 
-    let mut executed: Vec<Option<JobOutcome>> = vec![None; n_jobs];
+    let mut executed: Vec<Option<ExecutedJob>> = vec![None; n_jobs];
     if threads <= 1 {
         for &job in &pending {
             let cancel = CancelSignal {
                 flag: None,
                 deadline: options.timeout.map(|t| Instant::now() + t),
             };
-            let outcome = context.run_job(job, &cancel);
+            let (outcome, obs) = context.run_job(job, &cancel);
             context.checkpoint(job, &outcome);
-            executed[job] = Some(outcome);
+            if let Some(progress) = &context.progress {
+                progress.tick(outcome.is_ok());
+            }
+            executed[job] = Some((outcome, obs));
         }
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Mutex<&mut Vec<Option<JobOutcome>>> = Mutex::new(&mut executed);
-        let cancel_flags: Vec<AtomicBool> =
-            (0..n_jobs).map(|_| AtomicBool::new(false)).collect();
+        let slots: Mutex<&mut Vec<Option<ExecutedJob>>> = Mutex::new(&mut executed);
+        let cancel_flags: Vec<AtomicBool> = (0..n_jobs).map(|_| AtomicBool::new(false)).collect();
         let deadlines: Mutex<Vec<Option<Instant>>> = Mutex::new(vec![None; n_jobs]);
         let pool_done = AtomicBool::new(false);
         std::thread::scope(|scope| {
@@ -1065,8 +1324,7 @@ pub fn sweep_inputs(
             // every cancellation point).
             if let Some(timeout) = options.timeout {
                 let tick = (timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(10));
-                let (pool_done, deadlines, cancel_flags) =
-                    (&pool_done, &deadlines, &cancel_flags);
+                let (pool_done, deadlines, cancel_flags) = (&pool_done, &deadlines, &cancel_flags);
                 scope.spawn(move || {
                     while !pool_done.load(Ordering::Acquire) {
                         std::thread::sleep(tick);
@@ -1095,12 +1353,15 @@ pub fn sweep_inputs(
                             flag: Some(&cancel_flags[job]),
                             deadline,
                         };
-                        let outcome = context.run_job(job, &cancel);
+                        let (outcome, obs) = context.run_job(job, &cancel);
                         if deadline.is_some() {
                             lock_or_recover(&deadlines)[job] = None;
                         }
                         context.checkpoint(job, &outcome);
-                        lock_or_recover(&slots)[job] = Some(outcome);
+                        if let Some(progress) = &context.progress {
+                            progress.tick(outcome.is_ok());
+                        }
+                        lock_or_recover(&slots)[job] = Some((outcome, obs));
                     })
                 })
                 .collect();
@@ -1115,29 +1376,52 @@ pub fn sweep_inputs(
         });
     }
 
+    let mut job_obs: Vec<Option<JobObs>> = Vec::with_capacity(n_jobs);
     let jobs: Vec<JobOutcome> = (0..n_jobs)
         .map(|job| {
             if let Some(outcome) = restored.remove(&job) {
+                job_obs.push(None);
                 return outcome;
             }
-            executed[job].take().unwrap_or_else(|| JobOutcome {
-                status: JobStatus::Failed {
-                    error: "worker thread lost before completing this job".to_owned(),
-                },
-                attempts: 0,
-                wall: Duration::ZERO,
-            })
+            let (outcome, obs) = executed[job].take().unwrap_or_else(|| {
+                (
+                    JobOutcome {
+                        status: JobStatus::Failed {
+                            error: "worker thread lost before completing this job".to_owned(),
+                        },
+                        attempts: 0,
+                        wall: Duration::ZERO,
+                    },
+                    None,
+                )
+            });
+            job_obs.push(obs.map(|boxed| *boxed));
+            outcome
         })
         .collect();
 
-    Ok(SweepReport {
+    let report = SweepReport {
         series,
         trace_names,
         jobs,
+        obs: job_obs,
         threads,
         wall: start.elapsed(),
         resumed,
-    })
+    };
+    let summary = report.summary();
+    context.emit(
+        Event::new("sweep_close")
+            .num("ok", summary.ok as u64)
+            .num("failed", summary.failed as u64)
+            .num("timed_out", summary.timed_out as u64)
+            .num("skipped", summary.skipped as u64)
+            .float("wall_ms", report.wall.as_secs_f64() * 1e3),
+    );
+    if let Some(progress) = &context.progress {
+        progress.finish();
+    }
+    Ok(report)
 }
 
 /// [`sweep`] pinned to one worker thread — the reference schedule.
@@ -1210,8 +1494,7 @@ mod tests {
     fn sweep_covers_the_matrix_in_order() {
         let registry = PredictorRegistry::with_builtins();
         let runner = tiny_runner();
-        let report =
-            sweep(&registry, &two_specs(), &runner, &SweepOptions::default()).unwrap();
+        let report = sweep(&registry, &two_specs(), &runner, &SweepOptions::default()).unwrap();
         assert_eq!(report.jobs().len(), 4);
         assert!(report.is_fully_ok());
         assert_eq!(report.trace_names(), &["INT1".to_owned(), "MM2".to_owned()]);
@@ -1304,8 +1587,7 @@ mod tests {
     fn injected_panic_fails_one_job_and_spares_the_rest() {
         let registry = PredictorRegistry::with_builtins();
         let runner = tiny_runner();
-        let options = SweepOptions::serial()
-            .with_fault_plan(FaultPlan::new().panic_at(1));
+        let options = SweepOptions::serial().with_fault_plan(FaultPlan::new().panic_at(1));
         let report = sweep(&registry, &two_specs(), &runner, &options).unwrap();
         let summary = report.summary();
         assert_eq!((summary.ok, summary.failed), (3, 1));
@@ -1353,10 +1635,7 @@ mod tests {
             other => panic!("expected Failed, got {other:?}"),
         }
         let summary = report.summary();
-        assert_eq!(
-            (summary.ok, summary.failed, summary.skipped),
-            (2, 1, 1)
-        );
+        assert_eq!((summary.ok, summary.failed, summary.skipped), (2, 1, 1));
         assert!(!report.is_fully_ok());
         let json = report.results_json();
         assert!(json.contains("\"status\": \"skipped\""));
@@ -1373,13 +1652,8 @@ mod tests {
                 error: "checksum mismatch: footer 0x1, computed 0x2".to_owned(),
             },
         ];
-        let report = sweep_inputs(
-            &registry,
-            &two_specs(),
-            &inputs,
-            &SweepOptions::serial(),
-        )
-        .unwrap();
+        let report =
+            sweep_inputs(&registry, &two_specs(), &inputs, &SweepOptions::serial()).unwrap();
         assert_eq!(report.trace_names()[1], "broken");
         let summary = report.summary();
         assert_eq!((summary.ok, summary.failed), (2, 2));

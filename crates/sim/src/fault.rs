@@ -305,13 +305,18 @@ mod tests {
     #[test]
     fn seeded_random_layer_is_deterministic_and_rate_bound() {
         let a = FaultPlan::new().with_random(42, 0.3).materialized(1000);
-        let b = FaultPlan::parse("random@42=0.3").unwrap().materialized(1000);
+        let b = FaultPlan::parse("random@42=0.3")
+            .unwrap()
+            .materialized(1000);
         assert_eq!(a, b);
         assert!(!a.is_empty());
         // Statistically ~300; generous bounds keep this robust.
         assert!(a.len() > 150 && a.len() < 450, "{}", a.len());
         // Rate 0 / empty plan inject nothing.
-        assert!(FaultPlan::new().with_random(7, 0.0).materialized(100).is_empty());
+        assert!(FaultPlan::new()
+            .with_random(7, 0.0)
+            .materialized(100)
+            .is_empty());
         assert!(FaultPlan::new().materialized(100).is_empty());
         assert!(FaultPlan::new().is_empty());
     }

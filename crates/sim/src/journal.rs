@@ -350,8 +350,11 @@ impl Journal {
             std::fs::create_dir_all(parent).map_err(|e| io_err(path, e))?;
         }
         let mut file = File::create(path).map_err(|e| io_err(path, e))?;
-        writeln!(file, "{JOURNAL_SCHEMA} matrix={matrix_id:016x} jobs={n_jobs}")
-            .map_err(|e| io_err(path, e))?;
+        writeln!(
+            file,
+            "{JOURNAL_SCHEMA} matrix={matrix_id:016x} jobs={n_jobs}"
+        )
+        .map_err(|e| io_err(path, e))?;
         file.flush().map_err(|e| io_err(path, e))?;
         Ok(Self {
             path: path.to_owned(),
@@ -518,7 +521,14 @@ mod tests {
 
     #[test]
     fn escape_round_trips() {
-        for s in ["plain", "a b", "pct%20already", "tab\there", "nl\nthere", "%"] {
+        for s in [
+            "plain",
+            "a b",
+            "pct%20already",
+            "tab\there",
+            "nl\nthere",
+            "%",
+        ] {
             assert_eq!(unescape(&escape(s)), s, "{s:?}");
         }
     }
@@ -576,7 +586,9 @@ mod tests {
         // A malformed line that is NOT the last one is a hard error.
         std::fs::write(
             &path,
-            format!("{JOURNAL_SCHEMA} matrix=0000000000000001 jobs=2\ngarbage line zero\nskipped 1\n"),
+            format!(
+                "{JOURNAL_SCHEMA} matrix=0000000000000001 jobs=2\ngarbage line zero\nskipped 1\n"
+            ),
         )
         .unwrap();
         assert!(matches!(

@@ -23,6 +23,7 @@
 pub mod engine;
 pub mod fault;
 pub mod journal;
+pub mod obs;
 pub mod predictor;
 pub mod registry;
 pub mod runner;
@@ -30,15 +31,19 @@ pub mod simulate;
 pub mod storage;
 
 pub use engine::{
-    sweep, sweep_inputs, sweep_serial, JobOutcome, JobRecord, JobStatus, RetryPolicy,
-    RunSummary, SweepError, SweepOptions, SweepReport, TraceInput,
+    sweep, sweep_inputs, sweep_serial, JobOutcome, JobRecord, JobStatus, RetryPolicy, RunSummary,
+    SweepError, SweepOptions, SweepReport, TraceInput,
 };
 pub use fault::{Fault, FaultPlan, FaultPlanParseError};
 pub use journal::{Journal, JournalError};
+pub use obs::{
+    saturation_fraction, BranchStats, Event, EventJournal, H2pTable, Histogram, JobObs, Metrics,
+    PredictorIntrospect, Progress, EVENTS_SCHEMA, H2P_TOP_N, METRICS_SCHEMA,
+};
 pub use predictor::ConditionalPredictor;
 pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
 pub use simulate::{
-    mean_mpki, simulate, simulate_with_intervals, simulate_with_intervals_while,
-    IntervalPoint, SimResult, SimulationAborted,
+    mean_mpki, simulate, simulate_with_intervals, simulate_with_intervals_observed,
+    simulate_with_intervals_while, IntervalPoint, SimResult, SimulationAborted,
 };
 pub use storage::StorageBreakdown;

@@ -1,0 +1,708 @@
+//! Structured observability for sweeps and predictors.
+//!
+//! Three layers, all dependency-free and all strictly *off the results
+//! path* — enabling any of them never changes a [`SimResult`] or the
+//! `bfbp-sweep/2` document:
+//!
+//! 1. **Metrics** — a [`Metrics`] registry of counters, gauges, and
+//!    fixed-bucket histograms, filled per job by predictors that
+//!    implement [`PredictorIntrospect`] (BST occupancy, BF-GHR fill,
+//!    weight saturation, TAGE per-table allocations, …);
+//! 2. **Attribution** — an [`H2pTable`] accumulating per-static-branch
+//!    execution/taken/mispredict counts, surfacing the top-N
+//!    hard-to-predict PCs that dominate a trace's MPKI;
+//! 3. **Events** — an append-only `bfbp-events/1` JSONL journal
+//!    ([`EventJournal`]) of sweep → job → interval spans with monotonic
+//!    timestamps, plus a live stderr [`Progress`] line.
+//!
+//! [`SimResult`]: crate::simulate::SimResult
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::engine::{json_f64, json_string};
+
+/// Schema identifier of the span/event journal (one JSON object per line).
+pub const EVENTS_SCHEMA: &str = "bfbp-events/1";
+
+/// Schema identifier of the per-sweep metrics document.
+pub const METRICS_SCHEMA: &str = "bfbp-metrics/1";
+
+/// How many hard-to-predict PCs the metrics document keeps per job.
+pub const H2P_TOP_N: usize = 32;
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds in
+/// ascending order, and one extra overflow bucket catches everything
+/// beyond the last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        }
+    }
+
+    /// Records one observation into the first bucket whose bound admits
+    /// it (or the overflow bucket).
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries; the last is the
+    /// overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|b| json_f64(*b)).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"bounds\": [{}], \"counts\": [{}]}}",
+            bounds.join(", "),
+            counts.join(", ")
+        )
+    }
+}
+
+/// A deterministic registry of named counters, gauges, and histograms.
+///
+/// Names are sorted (BTreeMap) so the JSON rendering is byte-stable
+/// regardless of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Fraction of `weights` pinned at the `±clamp` training bound — the
+/// weight-saturation measure the neural predictors export. Returns 0
+/// for an empty slice.
+pub fn saturation_fraction(weights: &[i8], clamp: i32) -> f64 {
+    if weights.is_empty() {
+        return 0.0;
+    }
+    let saturated = weights
+        .iter()
+        .filter(|&&w| i32::from(w).abs() >= clamp)
+        .count();
+    saturated as f64 / weights.len() as f64
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into the named histogram, creating it
+    /// over `bounds` on first use.
+    pub fn observe(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// The named counter's value, if set.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the registry as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(name));
+            out.push_str(": ");
+            out.push_str(&value.to_string());
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(name));
+            out.push_str(": ");
+            out.push_str(&json_f64(*value));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(name));
+            out.push_str(": ");
+            out.push_str(&hist.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the registry as aligned human-readable lines (the
+    /// `diagnose` view; same data as [`Metrics::to_json`]).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("  {name:<40} {value:.4}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            out.push_str(&format!("  {name:<40}"));
+            for (i, count) in hist.counts().iter().enumerate() {
+                let label = hist
+                    .bounds()
+                    .get(i)
+                    .map(|b| format!("<={b}"))
+                    .unwrap_or_else(|| "over".to_owned());
+                out.push_str(&format!(" {label}:{count}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Implemented by predictors that can export internal state as metrics.
+///
+/// The sweep engine calls this once per job, *after* the simulation
+/// finishes, so implementations are free to do O(state) scans (occupancy
+/// counts, weight-saturation fractions) without touching the hot path.
+pub trait PredictorIntrospect {
+    /// Exports internal counters/gauges/histograms into `metrics`.
+    fn introspect(&self, metrics: &mut Metrics);
+}
+
+/// Per-static-branch accounting for one simulated job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchStats {
+    /// The branch's program counter.
+    pub pc: u64,
+    /// Dynamic executions of the branch.
+    pub executed: u64,
+    /// Executions resolved taken.
+    pub taken: u64,
+    /// Executions the predictor got wrong.
+    pub mispredicted: u64,
+}
+
+impl BranchStats {
+    /// Fraction of executions resolved taken.
+    pub fn taken_rate(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        self.taken as f64 / self.executed as f64
+    }
+
+    /// Fraction of executions mispredicted.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        self.mispredicted as f64 / self.executed as f64
+    }
+}
+
+/// A multiplicative hasher for PC keys. `record` runs once per committed
+/// conditional branch, where the default SipHash costs several percent of
+/// simulation throughput; PCs are word-aligned addresses with little
+/// adversarial structure, so one Fibonacci multiply spreads them fine.
+#[derive(Debug, Default, Clone, Copy)]
+struct PcHasher(u64);
+
+impl std::hash::Hasher for PcHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (value ^ (value >> 32)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// The hard-to-predict (H2P) attribution table: per-PC execution, taken,
+/// and misprediction counts, built by observing every conditional branch
+/// of a job.
+///
+/// Internally a `HashMap` for O(1) hot-path updates; every rendered view
+/// sorts (mispredictions descending, then PC ascending) so output is
+/// deterministic and identical between serial and parallel sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct H2pTable {
+    branches: HashMap<u64, BranchStats, std::hash::BuildHasherDefault<PcHasher>>,
+}
+
+impl PartialEq for H2pTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.branches == other.branches
+    }
+}
+
+impl H2pTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed conditional branch.
+    #[inline]
+    pub fn record(&mut self, pc: u64, taken: bool, mispredicted: bool) {
+        let stats = self.branches.entry(pc).or_insert(BranchStats {
+            pc,
+            executed: 0,
+            taken: 0,
+            mispredicted: 0,
+        });
+        stats.executed += 1;
+        stats.taken += u64::from(taken);
+        stats.mispredicted += u64::from(mispredicted);
+    }
+
+    /// Distinct static branches observed.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Whether no branch was observed.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+
+    /// Total mispredictions across all branches.
+    pub fn total_mispredicted(&self) -> u64 {
+        self.branches.values().map(|b| b.mispredicted).sum()
+    }
+
+    /// The `n` worst branches: sorted by mispredictions descending, PC
+    /// ascending as the tiebreak; branches that were never mispredicted
+    /// are excluded.
+    pub fn top(&self, n: usize) -> Vec<BranchStats> {
+        let mut rows: Vec<BranchStats> = self
+            .branches
+            .values()
+            .filter(|b| b.mispredicted > 0)
+            .copied()
+            .collect();
+        rows.sort_unstable_by(|a, b| b.mispredicted.cmp(&a.mispredicted).then(a.pc.cmp(&b.pc)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Renders the top-`n` branches as a JSON array (deterministic).
+    pub fn to_json(&self, n: usize) -> String {
+        let mut out = String::from("[");
+        for (i, b) in self.top(n).iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"pc\": \"{:#x}\", \"executed\": {}, \"taken_rate\": {}, \"mispredicts\": {}}}",
+                b.pc,
+                b.executed,
+                json_f64(b.taken_rate()),
+                b.mispredicted
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders the top-`n` branches as an aligned human-readable table —
+    /// the same rows [`H2pTable::to_json`] emits.
+    pub fn render_table(&self, n: usize) -> String {
+        let total = self.total_mispredicted().max(1) as f64;
+        let mut out =
+            String::from("        pc      mispredicts   executed   taken%   mpred%   share%\n");
+        for b in self.top(n) {
+            out.push_str(&format!(
+                "  {:#10x}  {:>11}  {:>9}  {:>6.1}%  {:>6.1}%  {:>6.1}%\n",
+                b.pc,
+                b.mispredicted,
+                b.executed,
+                100.0 * b.taken_rate(),
+                100.0 * b.mispredict_rate(),
+                100.0 * b.mispredicted as f64 / total,
+            ));
+        }
+        out
+    }
+}
+
+/// Everything observability collects for one completed job: the
+/// predictor's introspection metrics plus the per-branch H2P table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JobObs {
+    /// Introspection counters/gauges/histograms.
+    pub metrics: Metrics,
+    /// Per-static-branch misprediction attribution.
+    pub h2p: H2pTable,
+}
+
+/// Renders one job's observability record as a JSON object — the shared
+/// source for both the sweep metrics document and the `diagnose` bin.
+pub fn job_obs_json(series: &str, trace: &str, obs: Option<&JobObs>, top: usize) -> String {
+    let mut out = String::from("{\"series\": ");
+    out.push_str(&json_string(series));
+    out.push_str(", \"trace\": ");
+    out.push_str(&json_string(trace));
+    match obs {
+        Some(obs) => {
+            out.push_str(", \"metrics\": ");
+            out.push_str(&obs.metrics.to_json());
+            out.push_str(", \"h2p\": ");
+            out.push_str(&obs.h2p.to_json(top));
+        }
+        None => out.push_str(", \"metrics\": null, \"h2p\": null"),
+    }
+    out.push('}');
+    out
+}
+
+/// One event line under construction for the [`EventJournal`].
+///
+/// Fields are rendered in insertion order after the journal-stamped
+/// `ev` and `t_us` keys.
+#[derive(Debug)]
+pub struct Event {
+    ev: &'static str,
+    fields: String,
+}
+
+impl Event {
+    /// Starts an event of the given kind (`sweep_open`, `job_close`, …).
+    pub fn new(ev: &'static str) -> Self {
+        Self {
+            ev,
+            fields: String::new(),
+        }
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.fields
+            .push_str(&format!(", {}: {}", json_string(key), value));
+        self
+    }
+
+    /// Appends a float field.
+    pub fn float(mut self, key: &str, value: f64) -> Self {
+        self.fields
+            .push_str(&format!(", {}: {}", json_string(key), json_f64(value)));
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push_str(&format!(", {}: {}", json_string(key), json_string(value)));
+        self
+    }
+
+    fn render(&self, t_us: u64) -> String {
+        format!(
+            "{{\"ev\": {}, \"t_us\": {}{}}}\n",
+            json_string(self.ev),
+            t_us,
+            self.fields
+        )
+    }
+}
+
+#[derive(Debug)]
+struct EventSink {
+    file: std::fs::File,
+    last_us: u64,
+    warned: bool,
+}
+
+/// The `bfbp-events/1` span/event journal: one JSON object per line,
+/// stamped with microseconds since the journal was opened. Timestamps
+/// are monotonic non-decreasing in file order (writers serialize on an
+/// internal lock), and every write is flushed so a crashed run leaves a
+/// readable prefix.
+#[derive(Debug)]
+pub struct EventJournal {
+    start: Instant,
+    sink: Mutex<EventSink>,
+}
+
+impl EventJournal {
+    /// Creates (truncating) the journal at `path` and writes the
+    /// `journal_open` header event carrying the schema.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::with_options(path.as_ref(), true)
+    }
+
+    /// Opens the journal at `path` for appending, creating it (with the
+    /// header event) only when missing or empty — so several sweeps of a
+    /// campaign can share one journal.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::with_options(path.as_ref(), false)
+    }
+
+    fn with_options(path: &Path, truncate: bool) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(truncate)
+            .append(!truncate)
+            .open(path)?;
+        let empty = file.metadata()?.len() == 0;
+        let journal = Self {
+            start: Instant::now(),
+            sink: Mutex::new(EventSink {
+                file,
+                last_us: 0,
+                warned: false,
+            }),
+        };
+        if empty {
+            journal.emit(Event::new("journal_open").str("schema", EVENTS_SCHEMA));
+        }
+        Ok(journal)
+    }
+
+    /// Stamps and appends one event. Write failures degrade to a single
+    /// stderr warning — observability must never fail the run.
+    pub fn emit(&self, event: Event) {
+        let elapsed = self.start.elapsed().as_micros() as u64;
+        let mut sink = self.sink.lock().unwrap_or_else(PoisonError::into_inner);
+        let t_us = elapsed.max(sink.last_us);
+        sink.last_us = t_us;
+        let line = event.render(t_us);
+        let failed = sink
+            .file
+            .write_all(line.as_bytes())
+            .and_then(|()| sink.file.flush())
+            .is_err();
+        if failed && !sink.warned {
+            sink.warned = true;
+            eprintln!("warning: event journal write failed; further events may be lost");
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ProgressState {
+    done: usize,
+    failed: usize,
+}
+
+/// A live single-line stderr progress report for sweeps: jobs done and
+/// failed plus a naive rate-based ETA, rewritten in place with `\r`.
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    start: Instant,
+    state: Mutex<ProgressState>,
+}
+
+impl Progress {
+    /// Creates a tracker for `total` pending jobs.
+    pub fn new(total: usize) -> Self {
+        Self {
+            total,
+            start: Instant::now(),
+            state: Mutex::new(ProgressState { done: 0, failed: 0 }),
+        }
+    }
+
+    /// Records one finished job (`ok == false` counts toward the failed
+    /// tally) and redraws the line.
+    pub fn tick(&self, ok: bool) {
+        let (done, failed) = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.done += 1;
+            state.failed += usize::from(!ok);
+            (state.done, state.failed)
+        };
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let eta = if done > 0 {
+            let remaining = self.total.saturating_sub(done) as f64;
+            elapsed / done as f64 * remaining
+        } else {
+            f64::NAN
+        };
+        eprint!(
+            "\r[sweep] {done}/{} jobs done ({failed} failed), ETA {eta:.0}s        ",
+            self.total
+        );
+    }
+
+    /// Terminates the progress line with a newline.
+    pub fn finish(&self) {
+        eprintln!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 4.0, 16.0]);
+        for v in [0.5, 1.0, 3.0, 16.0, 17.0, 1000.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_stable() {
+        let mut m = Metrics::new();
+        m.incr("z.count", 2);
+        m.incr("a.count", 1);
+        m.incr("a.count", 1);
+        m.gauge("mid.gauge", 0.5);
+        m.observe("h", &[1.0], 0.5);
+        let json = m.to_json();
+        assert!(json.find("\"a.count\": 2").unwrap() < json.find("\"z.count\": 2").unwrap());
+        assert!(json.contains("\"mid.gauge\": 0.5"));
+        assert!(json.contains("\"bounds\": [1.0], \"counts\": [1, 0]"));
+        assert_eq!(m.counter_value("a.count"), Some(2));
+        assert_eq!(m.gauge_value("mid.gauge"), Some(0.5));
+        assert!(!m.is_empty());
+        assert!(!m.render_human().is_empty());
+    }
+
+    #[test]
+    fn h2p_orders_by_mispredicts_then_pc() {
+        let mut t = H2pTable::new();
+        for _ in 0..3 {
+            t.record(0x20, true, true);
+        }
+        for _ in 0..3 {
+            t.record(0x10, false, true);
+        }
+        t.record(0x30, true, true);
+        t.record(0x40, true, false); // never mispredicted: excluded
+        let top = t.top(10);
+        assert_eq!(
+            top.iter().map(|b| b.pc).collect::<Vec<_>>(),
+            vec![0x10, 0x20, 0x30]
+        );
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_mispredicted(), 7);
+        assert!((top[0].taken_rate() - 0.0).abs() < 1e-12);
+        assert!((top[1].taken_rate() - 1.0).abs() < 1e-12);
+        let json = t.to_json(2);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"pc\": \"0x10\""));
+        assert!(!json.contains("\"pc\": \"0x30\""), "{json}");
+        assert!(t.render_table(3).contains("0x10"));
+    }
+
+    #[test]
+    fn event_journal_stamps_monotonic_lines() {
+        let path =
+            std::env::temp_dir().join(format!("bfbp-obs-test-{}.events", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = EventJournal::create(&path).unwrap();
+        journal.emit(Event::new("job_open").num("job", 0).str("trace", "T1"));
+        journal.emit(
+            Event::new("job_close")
+                .num("job", 0)
+                .str("status", "ok")
+                .float("mpki", 2.5),
+        );
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(EVENTS_SCHEMA));
+        assert!(lines[1].contains("\"ev\": \"job_open\""));
+        assert!(lines[2].contains("\"status\": \"ok\""));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        // Re-open appends without a second header.
+        let journal = EventJournal::open(&path).unwrap();
+        journal.emit(Event::new("sweep_close"));
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("journal_open").count(), 1);
+        assert_eq!(text.lines().count(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_obs_json_renders_null_when_absent() {
+        let json = job_obs_json("s", "t", None, 8);
+        assert!(json.contains("\"metrics\": null"));
+        let obs = JobObs::default();
+        let json = job_obs_json("s", "t", Some(&obs), 8);
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"h2p\": []"));
+    }
+}

@@ -15,6 +15,7 @@ use std::borrow::Cow;
 
 use bfbp_trace::record::BranchRecord;
 
+use crate::obs::PredictorIntrospect;
 use crate::storage::StorageBreakdown;
 
 /// A direction predictor for conditional branches.
@@ -47,6 +48,15 @@ pub trait ConditionalPredictor {
 
     /// Reports the hardware storage this configuration requires.
     fn storage(&self) -> StorageBreakdown;
+
+    /// The predictor's introspection surface, if it exports one.
+    ///
+    /// Default: `None` — predictors without internal counters opt out
+    /// and cost nothing. Implementations typically implement
+    /// [`PredictorIntrospect`] and return `Some(self)`.
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        None
+    }
 }
 
 /// A trivially simple predictor: always predicts the same direction.
@@ -117,8 +127,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let mut boxed: Box<dyn ConditionalPredictor> =
-            Box::new(StaticPredictor::always_taken());
+        let mut boxed: Box<dyn ConditionalPredictor> = Box::new(StaticPredictor::always_taken());
         assert!(boxed.predict(0));
     }
 }

@@ -191,7 +191,13 @@ impl Params {
     pub fn usize(&self, key: &str) -> Result<usize, BuildError> {
         match self.required(key)? {
             ParamValue::Int(i) if *i >= 0 => Ok(*i as usize),
-            other => Err(BuildError::invalid(key, format!("expected a non-negative int, got {other} ({})", other.type_name()))),
+            other => Err(BuildError::invalid(
+                key,
+                format!(
+                    "expected a non-negative int, got {other} ({})",
+                    other.type_name()
+                ),
+            )),
         }
     }
 
@@ -206,7 +212,10 @@ impl Params {
         match self.required(key)? {
             ParamValue::Float(f) => Ok(*f),
             ParamValue::Int(i) => Ok(*i as f64),
-            other => Err(BuildError::invalid(key, format!("expected a number, got {other} ({})", other.type_name()))),
+            other => Err(BuildError::invalid(
+                key,
+                format!("expected a number, got {other} ({})", other.type_name()),
+            )),
         }
     }
 
@@ -214,7 +223,10 @@ impl Params {
     pub fn bool(&self, key: &str) -> Result<bool, BuildError> {
         match self.required(key)? {
             ParamValue::Bool(b) => Ok(*b),
-            other => Err(BuildError::invalid(key, format!("expected true/false, got {other} ({})", other.type_name()))),
+            other => Err(BuildError::invalid(
+                key,
+                format!("expected true/false, got {other} ({})", other.type_name()),
+            )),
         }
     }
 
@@ -222,7 +234,10 @@ impl Params {
     pub fn str(&self, key: &str) -> Result<&str, BuildError> {
         match self.required(key)? {
             ParamValue::Str(s) => Ok(s),
-            other => Err(BuildError::invalid(key, format!("expected a string, got {other} ({})", other.type_name()))),
+            other => Err(BuildError::invalid(
+                key,
+                format!("expected a string, got {other} ({})", other.type_name()),
+            )),
         }
     }
 
@@ -295,7 +310,11 @@ impl fmt::Display for BuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildError::UnknownPredictor { name, known } => {
-                write!(f, "unknown predictor {name:?}; registered: {}", known.join(", "))
+                write!(
+                    f,
+                    "unknown predictor {name:?}; registered: {}",
+                    known.join(", ")
+                )
             }
             BuildError::UnknownParam { param } => {
                 write!(f, "unknown parameter {param:?}")
@@ -458,10 +477,7 @@ impl PredictorRegistry {
     /// exactly once.
     pub fn register<F>(&mut self, name: &str, description: &str, defaults: Params, builder: F)
     where
-        F: Fn(&Params) -> Result<Box<dyn ConditionalPredictor>, BuildError>
-            + Send
-            + Sync
-            + 'static,
+        F: Fn(&Params) -> Result<Box<dyn ConditionalPredictor>, BuildError> + Send + Sync + 'static,
     {
         let previous = self.entries.insert(
             name.to_owned(),
@@ -481,10 +497,13 @@ impl PredictorRegistry {
         name: &str,
         overrides: &Params,
     ) -> Result<Box<dyn ConditionalPredictor>, BuildError> {
-        let entry = self.entries.get(name).ok_or_else(|| BuildError::UnknownPredictor {
-            name: name.to_owned(),
-            known: self.names().iter().map(|s| s.to_string()).collect(),
-        })?;
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| BuildError::UnknownPredictor {
+                name: name.to_owned(),
+                known: self.names().iter().map(|s| s.to_string()).collect(),
+            })?;
         let merged = entry.defaults.merged_with(overrides)?;
         (entry.builder)(&merged)
     }
@@ -558,7 +577,10 @@ mod tests {
         let registry = PredictorRegistry::with_builtins();
         let err = registry.build("nope", &Params::new()).err().unwrap();
         let msg = err.to_string();
-        assert!(msg.contains("nope") && msg.contains("static-taken"), "{msg}");
+        assert!(
+            msg.contains("nope") && msg.contains("static-taken"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -589,7 +611,10 @@ mod tests {
 
     #[test]
     fn params_merge_and_typed_reads() {
-        let defaults = Params::new().set("tables", 10).set("sc", true).set("scale", 1.5);
+        let defaults = Params::new()
+            .set("tables", 10)
+            .set("sc", true)
+            .set("scale", 1.5);
         let merged = defaults
             .merged_with(&Params::new().set("tables", 4).set("sc", false))
             .unwrap();
@@ -598,7 +623,9 @@ mod tests {
         assert_eq!(merged.f64("scale").unwrap(), 1.5);
         assert_eq!(merged.f64("tables").unwrap(), 4.0); // int widens
         assert!(merged.str("tables").is_err());
-        assert!(defaults.merged_with(&Params::new().set("tablez", 4)).is_err());
+        assert!(defaults
+            .merged_with(&Params::new().set("tablez", 4))
+            .is_err());
     }
 
     #[test]

@@ -155,10 +155,7 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn run_produces_one_result_per_trace() {
-        let specs = vec![
-            suite::find("SPEC00").unwrap(),
-            suite::find("MM2").unwrap(),
-        ];
+        let specs = vec![suite::find("SPEC00").unwrap(), suite::find("MM2").unwrap()];
         let runner = SuiteRunner::from_specs(specs, 0.01);
         let results = runner.run(|_| Box::new(StaticPredictor::always_taken()));
         assert_eq!(results.len(), 2);
@@ -170,10 +167,7 @@ mod tests {
     #[test]
     #[allow(deprecated)]
     fn run_spec_matches_deprecated_run() {
-        let specs = vec![
-            suite::find("SPEC00").unwrap(),
-            suite::find("MM2").unwrap(),
-        ];
+        let specs = vec![suite::find("SPEC00").unwrap(), suite::find("MM2").unwrap()];
         let runner = SuiteRunner::from_specs(specs, 0.01);
         let registry = PredictorRegistry::with_builtins();
         let via_registry = runner

@@ -158,6 +158,43 @@ pub fn simulate_with_intervals_while<P: ConditionalPredictor + ?Sized>(
     interval_insts: u64,
     cancelled: &mut dyn FnMut() -> bool,
 ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
+    // The no-op observer is a zero-sized closure: monomorphization makes
+    // this path identical to a loop with no observation hook at all.
+    run_records(
+        predictor,
+        trace,
+        interval_insts,
+        cancelled,
+        &mut |_, _, _| {},
+    )
+}
+
+/// [`simulate_with_intervals_while`] with a per-branch observation hook:
+/// `observe(pc, taken, mispredicted)` fires for every conditional branch
+/// *after* its prediction resolves — the attribution tap behind
+/// [`crate::obs::H2pTable`]. Observation never feeds back into the
+/// predictor, so observed and unobserved runs produce identical results.
+pub fn simulate_with_intervals_observed<P: ConditionalPredictor + ?Sized>(
+    predictor: &mut P,
+    trace: &Trace,
+    interval_insts: u64,
+    cancelled: &mut dyn FnMut() -> bool,
+    observe: &mut dyn FnMut(u64, bool, bool),
+) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
+    run_records(predictor, trace, interval_insts, cancelled, observe)
+}
+
+fn run_records<P, O>(
+    predictor: &mut P,
+    trace: &Trace,
+    interval_insts: u64,
+    cancelled: &mut dyn FnMut() -> bool,
+    observe: &mut O,
+) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted>
+where
+    P: ConditionalPredictor + ?Sized,
+    O: FnMut(u64, bool, bool) + ?Sized,
+{
     let mut conditional_branches = 0u64;
     let mut mispredictions = 0u64;
     let mut instructions = 0u64;
@@ -181,6 +218,7 @@ pub fn simulate_with_intervals_while<P: ConditionalPredictor + ?Sized>(
                 mispredictions += 1;
                 window.mispredictions += 1;
             }
+            observe(record.pc, record.taken, guess != record.taken);
             predictor.update(record.pc, record.taken, record.target);
         } else {
             predictor.track_other(record);
@@ -227,11 +265,7 @@ pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
 /// Runs `predictor` over a stream of records without collecting a trace
 /// first; useful for direct-from-disk simulation via
 /// [`bfbp_trace::TraceReader`].
-pub fn simulate_stream<P, I>(
-    predictor: &mut P,
-    trace_name: &str,
-    records: I,
-) -> SimResult
+pub fn simulate_stream<P, I>(predictor: &mut P, trace_name: &str, records: I) -> SimResult
 where
     P: ConditionalPredictor + ?Sized,
     I: IntoIterator<Item = BranchRecord>,
@@ -282,10 +316,10 @@ mod tests {
         Trace::new(
             "tnt",
             vec![
-                BranchRecord::cond(0x10, 0x20, true, 4),   // 5 insts
-                BranchRecord::cond(0x10, 0x20, false, 4),  // 5 insts
+                BranchRecord::cond(0x10, 0x20, true, 4),  // 5 insts
+                BranchRecord::cond(0x10, 0x20, false, 4), // 5 insts
                 BranchRecord::uncond(0x30, 0x40, BranchKind::Call, 9), // 10 insts
-                BranchRecord::cond(0x10, 0x20, true, 4),   // 5 insts
+                BranchRecord::cond(0x10, 0x20, true, 4),  // 5 insts
             ],
         )
     }
@@ -343,7 +377,10 @@ mod tests {
             result.mispredictions()
         );
         assert_eq!(
-            intervals.iter().map(|iv| iv.conditional_branches).sum::<u64>(),
+            intervals
+                .iter()
+                .map(|iv| iv.conditional_branches)
+                .sum::<u64>(),
             result.conditional_branches()
         );
 
@@ -371,6 +408,32 @@ mod tests {
             simulate_with_intervals_while(&mut p2, &trace, 10, &mut || false).unwrap();
         assert_eq!(plain, cancellable);
         assert!(!format!("{SimulationAborted}").is_empty());
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_sees_every_branch() {
+        let trace = trace_tnt();
+        let mut p1 = StaticPredictor::always_taken();
+        let mut p2 = StaticPredictor::always_taken();
+        let plain = simulate_with_intervals(&mut p1, &trace, 10);
+        let mut seen = Vec::new();
+        let observed = simulate_with_intervals_observed(
+            &mut p2,
+            &trace,
+            10,
+            &mut || false,
+            &mut |pc, taken, mispredicted| seen.push((pc, taken, mispredicted)),
+        )
+        .unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(
+            seen,
+            vec![
+                (0x10, true, false),
+                (0x10, false, true),
+                (0x10, true, false)
+            ]
+        );
     }
 
     #[test]

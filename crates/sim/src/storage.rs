@@ -42,7 +42,13 @@ impl StorageItem {
 
 impl fmt::Display for StorageItem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} bits ({} bytes)", self.label, self.bits, self.bytes())
+        write!(
+            f,
+            "{}: {} bits ({} bytes)",
+            self.label,
+            self.bits,
+            self.bytes()
+        )
     }
 }
 
@@ -78,8 +84,10 @@ impl StorageBreakdown {
     /// Merges all items of `other`, prefixing their labels.
     pub fn push_nested(&mut self, prefix: &str, other: &StorageBreakdown) {
         for item in &other.items {
-            self.items
-                .push(StorageItem::new(format!("{prefix}/{}", item.label()), item.bits()));
+            self.items.push(StorageItem::new(
+                format!("{prefix}/{}", item.label()),
+                item.bits(),
+            ));
         }
     }
 

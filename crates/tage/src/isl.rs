@@ -206,6 +206,13 @@ impl<T: TageEngine> ConditionalPredictor for Isl<T> {
         }
         s
     }
+
+    fn introspection(&self) -> Option<&dyn bfbp_sim::obs::PredictorIntrospect> {
+        // Delegate to the wrapped engine: the TAGE-side counters are
+        // where the insight is; the loop/SC components are stateless by
+        // comparison.
+        self.tage.introspection()
+    }
 }
 
 impl<T: TageEngine> TageEngine for Isl<T> {

@@ -9,8 +9,7 @@ use crate::tage::Tage;
 
 fn conventional_config(params: &Params) -> Result<TageConfig, BuildError> {
     let tables = params.usize("tables")?;
-    TageConfig::conventional(tables)
-        .map_err(|e| BuildError::invalid("tables", e.to_string()))
+    TageConfig::conventional(tables).map_err(|e| BuildError::invalid("tables", e.to_string()))
 }
 
 /// Registers `tage` (conventional TAGE, default 10 tagged tables) and
@@ -65,7 +64,9 @@ mod tests {
     #[test]
     fn table_count_is_validated() {
         let r = registry();
-        assert!(r.build("tage", &Params::new().set("tables", 3usize)).is_err());
+        assert!(r
+            .build("tage", &Params::new().set("tables", 3usize))
+            .is_err());
         assert!(r
             .build("isl-tage", &Params::new().set("tables", 99usize))
             .is_err());

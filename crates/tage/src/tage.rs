@@ -11,6 +11,7 @@
 
 use bfbp_predictors::bimodal::Bimodal;
 use bfbp_predictors::history::{mix64, ManagedHistory, PathHistory};
+use bfbp_sim::obs::{Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_trace::record::BranchRecord;
@@ -99,6 +100,13 @@ pub struct TageCore {
     stats: ProviderStats,
     ctx: PredContext,
     last_provider_ctr: i8,
+    /// Successful allocations per tagged table (observability only).
+    allocs: Vec<u64>,
+    /// Mispredictions where every candidate entry was useful, so the
+    /// all-useful decrement path ran instead of an allocation.
+    alloc_failures: u64,
+    /// Periodic useful-bit aging sweeps performed.
+    useful_resets: u64,
 }
 
 impl TageCore {
@@ -121,6 +129,9 @@ impl TageCore {
             stats: ProviderStats::new(n),
             ctx: PredContext::default(),
             last_provider_ctr: 0,
+            allocs: vec![0; n],
+            alloc_failures: 0,
+            useful_resets: 0,
         }
     }
 
@@ -143,6 +154,49 @@ impl TageCore {
     /// Clears accumulated provider statistics (e.g. after warm-up).
     pub fn reset_provider_stats(&mut self) {
         self.stats = ProviderStats::new(self.tables.len());
+    }
+
+    /// Successful allocations per tagged table, shortest history first.
+    pub fn alloc_counts(&self) -> &[u64] {
+        &self.allocs
+    }
+
+    /// Mispredictions where allocation failed (every candidate useful).
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// Periodic useful-bit aging sweeps performed so far.
+    pub fn useful_resets(&self) -> u64 {
+        self.useful_resets
+    }
+
+    /// Exports the engine's counters into `metrics` under the `tage.`
+    /// prefix — per-table allocations, provider hits, occupancy — shared
+    /// by every predictor wrapping a [`TageCore`] (TAGE, ISL-TAGE,
+    /// BF-TAGE).
+    pub fn introspect_into(&self, metrics: &mut Metrics) {
+        metrics.counter("tage.base.provider_hits", self.stats.base_count());
+        metrics.counter("tage.alloc_failures", self.alloc_failures);
+        metrics.counter("tage.useful_resets", self.useful_resets);
+        for (i, table) in self.tables.iter().enumerate() {
+            let label = i + 1; // T1..Tn, matching the storage breakdown
+            metrics.counter(&format!("tage.table{label}.allocs"), self.allocs[i]);
+            metrics.counter(
+                &format!("tage.table{label}.provider_hits"),
+                self.stats.table_count(i),
+            );
+            let occupied = (0..table.len())
+                .filter(|&j| {
+                    let e = table.entry(j);
+                    e.ctr != 0 || e.tag != 0 || e.useful != 0
+                })
+                .count();
+            metrics.gauge(
+                &format!("tage.table{label}.occupancy"),
+                occupied as f64 / table.len() as f64,
+            );
+        }
     }
 
     fn next_rand(&mut self) -> u64 {
@@ -239,6 +293,7 @@ impl TageCore {
                 for j in start..n {
                     self.tables[j].touch_useful(ctx.indices[j], false);
                 }
+                self.alloc_failures += 1;
             } else {
                 // Prefer shorter tables, skipping each with probability
                 // 1/2 (Seznec's anti-ping-pong randomization).
@@ -251,6 +306,7 @@ impl TageCore {
                 }
                 candidates.clear();
                 self.tables[chosen].allocate(ctx.indices[chosen], ctx.tags[chosen], taken);
+                self.allocs[chosen] += 1;
             }
         }
 
@@ -281,6 +337,7 @@ impl TageCore {
             for t in &mut self.tables {
                 t.reset_useful_bit(bit);
             }
+            self.useful_resets += 1;
         }
     }
 
@@ -322,7 +379,10 @@ impl Tage {
         for g in &config.tables {
             fold_specs.push((g.history_len, g.log_size as usize)); // index fold
             fold_specs.push((g.history_len, g.tag_bits as usize)); // tag fold A
-            fold_specs.push((g.history_len, (g.tag_bits as usize).saturating_sub(1).max(1)));
+            fold_specs.push((
+                g.history_len,
+                (g.tag_bits as usize).saturating_sub(1).max(1),
+            ));
             // tag fold B
         }
         Self {
@@ -369,8 +429,7 @@ impl Tage {
             let path_window = t.history_len().min(16) as u32;
             let path_bits = self.path.value() & ((1u64 << path_window) - 1);
             let path_mix = mix64(path_bits.wrapping_mul(0x9E37_79B9u64 + i as u64));
-            let raw_idx =
-                pch ^ (pch >> (t.log_size() + 1)) ^ f_idx ^ (path_mix >> 3);
+            let raw_idx = pch ^ (pch >> (t.log_size() + 1)) ^ f_idx ^ (path_mix >> 3);
             indices.push(t.mask_index(raw_idx));
             tags.push(t.mask_tag(pch ^ f_tag_a ^ (f_tag_b << 1)));
         }
@@ -406,6 +465,16 @@ impl ConditionalPredictor for Tage {
         );
         s.push("path history", u64::from(self.path.len()));
         s
+    }
+
+    fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
+        Some(self)
+    }
+}
+
+impl PredictorIntrospect for Tage {
+    fn introspect(&self, metrics: &mut Metrics) {
+        self.core.introspect_into(metrics);
     }
 }
 

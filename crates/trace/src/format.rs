@@ -233,7 +233,11 @@ impl<W: Write> TraceWriter<W> {
             zigzag(record.target.wrapping_sub(record.pc) as i64),
             &mut self.hash,
         )?;
-        write_varint(&mut self.inner, u64::from(record.non_branch_insts), &mut self.hash)?;
+        write_varint(
+            &mut self.inner,
+            u64::from(record.non_branch_insts),
+            &mut self.hash,
+        )?;
         self.prev_pc = record.pc;
         self.count += 1;
         Ok(())
@@ -608,10 +612,7 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &sample_trace()).unwrap();
         buf.truncate(buf.len() - 4);
-        assert!(matches!(
-            read_trace(&buf[..]),
-            Err(TraceFormatError::Io(_))
-        ));
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFormatError::Io(_))));
     }
 
     #[test]
@@ -682,8 +683,11 @@ mod tests {
         assert_eq!(read_trace_file(&path).unwrap(), trace);
 
         let bad = dir.join("bad.bfbt");
-        std::fs::write(&bad, corrupt::corrupted(&trace, corrupt::CorruptKind::ChecksumMismatch))
-            .unwrap();
+        std::fs::write(
+            &bad,
+            corrupt::corrupted(&trace, corrupt::CorruptKind::ChecksumMismatch),
+        )
+        .unwrap();
         assert!(matches!(
             read_trace_file(&bad),
             Err(TraceFormatError::ChecksumMismatch { .. })

@@ -195,7 +195,10 @@ mod tests {
 
     #[test]
     fn all_biased() {
-        let trace = Trace::new("t", vec![record(1, true), record(2, false), record(1, true)]);
+        let trace = Trace::new(
+            "t",
+            vec![record(1, true), record(2, false), record(1, true)],
+        );
         let p = BiasProfile::measure(&trace);
         assert_eq!(p.static_conditionals(), 2);
         assert_eq!(p.static_biased(), 2);
@@ -248,9 +251,9 @@ mod tests {
         let trace = Trace::new(
             "t",
             vec![
-                record(1, true),                                        // 4 insts
-                BranchRecord::uncond(2, 3, BranchKind::Call, 10),       // 11 insts
-                BranchRecord::uncond(4, 5, BranchKind::Return, 0),      // 1 inst
+                record(1, true),                                   // 4 insts
+                BranchRecord::uncond(2, 3, BranchKind::Call, 10),  // 11 insts
+                BranchRecord::uncond(4, 5, BranchKind::Return, 0), // 1 inst
             ],
         );
         let mix = TraceMix::measure(&trace);

@@ -246,9 +246,7 @@ impl BehaviorModel {
                 state.aux[id.index()] > 0
             }
             BehaviorModel::Bernoulli { p_taken } => rng.chance(*p_taken),
-            BehaviorModel::SlowBernoulli { p_flip } => {
-                state.last_outcome(id) ^ rng.chance(*p_flip)
-            }
+            BehaviorModel::SlowBernoulli { p_flip } => state.last_outcome(id) ^ rng.chance(*p_flip),
             BehaviorModel::CorrelatedLastOutcome { src, invert, noise } => {
                 let mut out = state.last_outcome(*src) ^ invert;
                 if *noise > 0.0 && rng.chance(*noise) {
@@ -256,7 +254,11 @@ impl BehaviorModel {
                 }
                 out
             }
-            BehaviorModel::XorOfLast { srcs, invert, noise } => {
+            BehaviorModel::XorOfLast {
+                srcs,
+                invert,
+                noise,
+            } => {
                 let mut out = srcs
                     .iter()
                     .fold(false, |acc, s| acc ^ state.last_outcome(*s))
@@ -275,7 +277,11 @@ impl BehaviorModel {
                 let phase = state.global_conditionals() / period;
                 base.as_bool() ^ (phase % 2 == 1)
             }
-            BehaviorModel::PositionalProbe { guard, modulus, hot } => {
+            BehaviorModel::PositionalProbe {
+                guard,
+                modulus,
+                hot,
+            } => {
                 let iter = (state.occurrences(id) % u64::from((*modulus).max(1))) as u32;
                 iter == *hot && state.last_outcome(*guard)
             }

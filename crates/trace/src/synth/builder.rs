@@ -158,11 +158,8 @@ impl ProgramBuilder {
         }
         for &src in &srcs {
             let invert = self.rng_bool();
-            let consumer = self.add_branch(BehaviorModel::CorrelatedLastOutcome {
-                src,
-                invert,
-                noise,
-            });
+            let consumer =
+                self.add_branch(BehaviorModel::CorrelatedLastOutcome { src, invert, noise });
             steps.push(Step::Cond(consumer));
         }
         self.add_scene(weight, steps);
@@ -289,8 +286,7 @@ impl ProgramBuilder {
                 let body_static = 3usize;
                 let per_iter = body_static + 1;
                 let trips = ((len / per_iter).max(2)) as u32;
-                let header =
-                    self.add_backward_branch(BehaviorModel::Loop { trip: trips + 1 });
+                let header = self.add_backward_branch(BehaviorModel::Loop { trip: trips + 1 });
                 let body: Vec<Step> = (0..body_static)
                     .map(|_| {
                         // Mostly-taken, but genuinely non-biased: the RS is
@@ -369,11 +365,8 @@ impl ProgramBuilder {
                 self.push_filler(filler, gap, &pool, &mut steps);
             }
             let invert = self.rng_bool();
-            let consumer = self.add_branch(BehaviorModel::CorrelatedLastOutcome {
-                src,
-                invert,
-                noise,
-            });
+            let consumer =
+                self.add_branch(BehaviorModel::CorrelatedLastOutcome { src, invert, noise });
             steps.push(Step::Cond(consumer));
         }
         self.add_scene(weight, steps);
@@ -398,8 +391,7 @@ impl ProgramBuilder {
         let header = self.add_backward_branch(BehaviorModel::Loop { trip: trip + 1 });
         let body: Vec<Step> = (0..n_branches.max(1))
             .map(|_| {
-                let mut pattern: Vec<bool> =
-                    (0..period).map(|_| self.rng.chance(0.5)).collect();
+                let mut pattern: Vec<bool> = (0..period).map(|_| self.rng.chance(0.5)).collect();
                 if pattern.iter().all(|&x| x) {
                     pattern[0] = false;
                 }
@@ -422,9 +414,7 @@ impl ProgramBuilder {
     /// Adds a loop kernel with a constant trip count and a small body of
     /// biased branches — the loop-count predictor's target class.
     pub fn add_loop_kernel(&mut self, trip: u32, body_biased: usize, weight: u32) {
-        let header = self.add_backward_branch(BehaviorModel::Loop {
-            trip: trip.max(2),
-        });
+        let header = self.add_backward_branch(BehaviorModel::Loop { trip: trip.max(2) });
         let body: Vec<Step> = (0..body_biased)
             .map(|_| {
                 let model = self.random_bias();
@@ -449,8 +439,7 @@ impl ProgramBuilder {
         let steps: Vec<Step> = (0..n)
             .map(|_| {
                 // Random non-constant pattern.
-                let mut pattern: Vec<bool> =
-                    (0..period).map(|_| self.rng.chance(0.5)).collect();
+                let mut pattern: Vec<bool> = (0..period).map(|_| self.rng.chance(0.5)).collect();
                 if pattern.iter().all(|&b| b) {
                     pattern[0] = false;
                 }
@@ -492,9 +481,7 @@ impl ProgramBuilder {
         let guard = self.add_branch(BehaviorModel::SlowBernoulli { p_flip: 0.3 });
         // Header runs the body exactly `modulus` times so the probe's
         // occurrence counter stays phase-aligned with the sweep.
-        let header = self.add_backward_branch(BehaviorModel::Loop {
-            trip: modulus + 1,
-        });
+        let header = self.add_backward_branch(BehaviorModel::Loop { trip: modulus + 1 });
         let hot = self.rng.below(u64::from(modulus)) as u32;
         let probe = self.add_branch(BehaviorModel::PositionalProbe {
             guard,
@@ -577,10 +564,7 @@ mod tests {
         while i + play_len <= records.len() {
             assert_eq!(records[i].pc, src_pc);
             assert_eq!(records[i + 201].pc, cons_pc);
-            assert_eq!(
-                records[i + 201].taken == records[i].taken,
-                first_agrees
-            );
+            assert_eq!(records[i + 201].taken == records[i].taken, first_agrees);
             i += play_len;
         }
     }
@@ -595,11 +579,7 @@ mod tests {
         // And the dynamic gap is ~800.
         let trace = b.build().emit("t", 2000, 3);
         let records = trace.records();
-        let consumer_pc = records
-            .iter()
-            .map(|r| r.pc)
-            .max()
-            .unwrap();
+        let consumer_pc = records.iter().map(|r| r.pc).max().unwrap();
         let first_consumer = records.iter().position(|r| r.pc == consumer_pc).unwrap();
         assert!(
             (600..=1100).contains(&first_consumer),
@@ -639,7 +619,11 @@ mod tests {
         b.add_local_pattern_run(1, 5, 1);
         let trace = b.build().emit("t", 500, 3);
         let pc = trace.records()[0].pc;
-        let outs: Vec<bool> = trace.iter().filter(|r| r.pc == pc).map(|r| r.taken).collect();
+        let outs: Vec<bool> = trace
+            .iter()
+            .filter(|r| r.pc == pc)
+            .map(|r| r.taken)
+            .collect();
         for i in 5..outs.len() {
             assert_eq!(outs[i], outs[i - 5]);
         }
@@ -667,12 +651,7 @@ mod tests {
         // Probe takenness must depend only on guard: count probe-taken per
         // sweep is exactly 1 when guard taken, 0 otherwise.
         let records = trace.records();
-        let probe_pc = records
-            .iter()
-            .take(18)
-            .map(|r| r.pc)
-            .max()
-            .unwrap();
+        let probe_pc = records.iter().take(18).map(|r| r.pc).max().unwrap();
         let mut i = 0;
         while i + 18 <= records.len() {
             let guard_taken = records[i].taken;
@@ -758,8 +737,7 @@ mod tests {
         let play_len = 84;
         let src_pc = records[0].pc;
         let consumer_offsets = [61usize, 72, 83];
-        let consumer_pcs: Vec<u64> =
-            consumer_offsets.iter().map(|&o| records[o].pc).collect();
+        let consumer_pcs: Vec<u64> = consumer_offsets.iter().map(|&o| records[o].pc).collect();
         // Consumers are fresh static branches: distinct from each other.
         assert_eq!(
             consumer_pcs

@@ -296,9 +296,7 @@ const SCENE_BURST_MAX: u32 = 16;
 impl ProgramStream<'_> {
     fn emit_cond(&mut self, id: BranchId, out: &mut Vec<BranchRecord>) {
         let branch = &self.program.branches[id.index()];
-        let taken = branch
-            .behavior
-            .evaluate(id, &mut self.state, &mut self.rng);
+        let taken = branch.behavior.evaluate(id, &mut self.state, &mut self.rng);
         self.state.commit(id, taken);
         out.push(BranchRecord::cond(
             branch.pc,
@@ -320,9 +318,10 @@ impl ProgramStream<'_> {
                     let mut iters = 0u32;
                     loop {
                         let branch = &self.program.branches[header.index()];
-                        let taken = branch
-                            .behavior
-                            .evaluate(*header, &mut self.state, &mut self.rng);
+                        let taken =
+                            branch
+                                .behavior
+                                .evaluate(*header, &mut self.state, &mut self.rng);
                         self.state.commit(*header, taken);
                         out.push(BranchRecord::cond(
                             branch.pc,
@@ -365,9 +364,7 @@ impl ProgramStream<'_> {
         // Phase behaviour: repeat the previous scene with high
         // probability (bounded burst), else weighted scene selection.
         let scene_index = match self.last_scene {
-            Some(prev)
-                if self.burst_left > 0 && self.rng.below(256) < SCENE_REPEAT_NUM =>
-            {
+            Some(prev) if self.burst_left > 0 && self.rng.below(256) < SCENE_REPEAT_NUM => {
                 self.burst_left -= 1;
                 prev
             }
@@ -508,9 +505,8 @@ mod tests {
 
     #[test]
     fn max_iters_caps_runaway_loops() {
-        let branches = vec![
-            StaticBranch::new(0x1000, BehaviorModel::Bias(Direction::Taken)).backward(),
-        ];
+        let branches =
+            vec![StaticBranch::new(0x1000, BehaviorModel::Bias(Direction::Taken)).backward()];
         let scenes = vec![Scene::new(
             vec![Step::Loop {
                 header: BranchId::new(0),
@@ -582,7 +578,10 @@ mod tests {
             0x10,
             BehaviorModel::LocalPattern { pattern: vec![] },
         )];
-        assert_eq!(Program::new(b2, s.clone()), Err(ProgramError::EmptyPattern(0)));
+        assert_eq!(
+            Program::new(b2, s.clone()),
+            Err(ProgramError::EmptyPattern(0))
+        );
 
         let b3 = vec![StaticBranch::new(
             0x10,

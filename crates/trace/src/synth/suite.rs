@@ -184,7 +184,13 @@ impl TraceSpec {
         }
         for d in &self.knobs.deep {
             b.add_deep_block(
-                d.distance, d.filler, d.consumers, d.noise, d.warmup, d.gap, d.weight,
+                d.distance,
+                d.filler,
+                d.consumers,
+                d.noise,
+                d.warmup,
+                d.gap,
+                d.weight,
             );
         }
         for &(trip, body, w) in &self.knobs.loops {
@@ -210,7 +216,8 @@ impl TraceSpec {
     /// Generates the trace with an explicit record count. Long/short
     /// proportions can be preserved by scaling with [`TraceSpec::is_long`].
     pub fn generate_len(&self, n_records: usize) -> Trace {
-        self.build_program().emit(self.name.clone(), n_records, self.seed ^ 0x5EED)
+        self.build_program()
+            .emit(self.name.clone(), n_records, self.seed ^ 0x5EED)
     }
 }
 
@@ -271,13 +278,7 @@ fn base_knobs(noise_len: usize, noise_lo: f64, noise_hi: f64) -> Knobs {
 /// the gap away. Gaps of 60/90/130 are unlocked by successively longer
 /// conventional-TAGE tables (L = 67/97/138); a 210 gap exceeds the
 /// 10-table reach (195) and requires 11+ tables or bias-free filtering.
-fn chain(
-    distance: usize,
-    filler: Filler,
-    consumers: usize,
-    gap: usize,
-    weight: u32,
-) -> DeepKnob {
+fn chain(distance: usize, filler: Filler, consumers: usize, gap: usize, weight: u32) -> DeepKnob {
     DeepKnob {
         distance,
         filler,
@@ -330,7 +331,8 @@ fn spec_trace(idx: usize) -> TraceSpec {
         // Long-history-sensitive traces: gradual 10-to-15-table gains.
         0 | 10 | 15 | 17 => {
             k.deep.push(chain(1150, Filler::DistinctBiased, 6, 210, 4));
-            k.deep.push(chain(1650, Filler::DeterministicLoop, 6, 210, 3));
+            k.deep
+                .push(chain(1650, Filler::DeterministicLoop, 6, 210, 3));
         }
         // Local-history trace: unfiltered history wins (par. VI-D).
         7 => {
@@ -348,7 +350,8 @@ fn spec_trace(idx: usize) -> TraceSpec {
             k.deep.push(chain(350, Filler::LoopedNonBiased, 8, 90, 3));
         }
         _ => {
-            k.deep.push(chain(480, Filler::DeterministicLoop, 6, 210, 4));
+            k.deep
+                .push(chain(480, Filler::DeterministicLoop, 6, 210, 4));
         }
     }
     TraceSpec::new(name, Category::Spec, true, k)
@@ -396,10 +399,12 @@ fn int_trace(idx: usize) -> TraceSpec {
         }
         // INT5: long-history sensitive (par. VI-D list).
         5 => {
-            k.deep.push(chain(1150, Filler::DeterministicLoop, 6, 210, 4));
+            k.deep
+                .push(chain(1150, Filler::DeterministicLoop, 6, 210, 4));
         }
         _ => {
-            k.deep.push(chain(480, Filler::DeterministicLoop, 6, 210, 3));
+            k.deep
+                .push(chain(480, Filler::DeterministicLoop, 6, 210, 3));
         }
     }
     TraceSpec::new(name, Category::Int, false, k)

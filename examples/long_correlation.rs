@@ -34,9 +34,7 @@ fn main() {
     let program = builder.build();
     let trace = program.emit("long-correlation", 200_000, 7);
 
-    println!(
-        "workload: source branch, 600 biased branches, then correlated consumers\n"
-    );
+    println!("workload: source branch, 600 biased branches, then correlated consumers\n");
 
     let mut conventional = PiecewiseLinear::conventional_64kb();
     let conv = simulate(&mut conventional, &trace);

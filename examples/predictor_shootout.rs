@@ -22,11 +22,7 @@ fn main() {
     let trace_names = ["SPEC03", "SPEC07", "INT2", "MM1", "SERV3"];
     let traces: Vec<_> = trace_names
         .iter()
-        .map(|n| {
-            suite::find(n)
-                .expect("trace in suite")
-                .generate_len(60_000)
-        })
+        .map(|n| suite::find(n).expect("trace in suite").generate_len(60_000))
         .collect();
 
     type Factory = fn() -> Box<dyn ConditionalPredictor>;

@@ -125,7 +125,12 @@ fn bf_tage_works_with_any_classifier() {
     let r_prob = simulate(&mut probabilistic, &trace);
     let r_prof = simulate(&mut profiled, &trace);
     for r in [&r_dyn, &r_prob, &r_prof] {
-        assert!(r.accuracy() > 0.9, "{}: {}", r.predictor_name(), r.accuracy());
+        assert!(
+            r.accuracy() > 0.9,
+            "{}: {}",
+            r.predictor_name(),
+            r.accuracy()
+        );
     }
     // All three within a factor of two of each other.
     let worst = r_dyn.mpki().max(r_prob.mpki()).max(r_prof.mpki());
@@ -136,7 +141,7 @@ fn bf_tage_works_with_any_classifier() {
 /// Cloned predictors evolve independently (no shared state through Rc
 /// or similar).
 #[test]
-fn cloned_predictors_are_independent()  {
+fn cloned_predictors_are_independent() {
     let mut a = BfNeural::budget_64kb();
     for i in 0..100u64 {
         a.predict(0x40 + i % 8 * 4);
@@ -191,8 +196,8 @@ fn tage_providers_migrate_from_base_to_tables() {
             t.update(r.pc, r.taken, r.target);
         }
     }
-    let early_base = t.provider_stats().base_count() as f64
-        / t.provider_stats().total().max(1) as f64;
+    let early_base =
+        t.provider_stats().base_count() as f64 / t.provider_stats().total().max(1) as f64;
     t.reset_provider_stats();
     for r in &records[fifth..] {
         if r.kind.is_conditional() {
@@ -200,8 +205,8 @@ fn tage_providers_migrate_from_base_to_tables() {
             t.update(r.pc, r.taken, r.target);
         }
     }
-    let late_base = t.provider_stats().base_count() as f64
-        / t.provider_stats().total().max(1) as f64;
+    let late_base =
+        t.provider_stats().base_count() as f64 / t.provider_stats().total().max(1) as f64;
     assert!(
         late_base < early_base,
         "base share should fall as tables warm: early {early_base:.3}, late {late_base:.3}"

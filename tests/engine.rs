@@ -135,7 +135,13 @@ fn sweep_report_carries_timing_and_interval_data() {
     }
 
     let json = report.to_json();
-    for key in ["\"schema\"", "\"timing\"", "\"threads\"", "\"wall_ms\"", "\"series\""] {
+    for key in [
+        "\"schema\"",
+        "\"timing\"",
+        "\"threads\"",
+        "\"wall_ms\"",
+        "\"series\"",
+    ] {
         assert!(json.contains(key), "JSON missing {key}: {json}");
     }
 }

@@ -8,9 +8,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
-use bfbp::sim::engine::{
-    sweep, sweep_inputs, JobStatus, SweepError, SweepOptions, TraceInput,
-};
+use bfbp::sim::engine::{sweep, sweep_inputs, JobStatus, SweepError, SweepOptions, TraceInput};
 use bfbp::sim::fault::FaultPlan;
 use bfbp::sim::journal::JournalError;
 use bfbp::sim::registry::PredictorSpec;
@@ -36,10 +34,7 @@ fn small_specs() -> Vec<PredictorSpec> {
 /// A unique scratch path under the target temp dir.
 fn scratch(name: &str) -> PathBuf {
     static SEQ: AtomicUsize = AtomicUsize::new(0);
-    let dir = std::env::temp_dir().join(format!(
-        "bfbp-fault-tests-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("bfbp-fault-tests-{}", std::process::id()));
     fs::create_dir_all(&dir).expect("create scratch dir");
     dir.join(format!("{}-{name}", SEQ.fetch_add(1, Ordering::Relaxed)))
 }
@@ -96,12 +91,14 @@ fn acceptance_panic_timeout_corruption_then_resume() {
 
     // Round 2: resume with the faults gone. Only the three unhealthy
     // jobs may re-run; the completed one is restored from the journal.
-    let resumed_options = SweepOptions::default()
-        .with_threads(2)
-        .resuming(&journal);
+    let resumed_options = SweepOptions::default().with_threads(2).resuming(&journal);
     let resumed = sweep(&registry, &specs, &runner, &resumed_options).expect("resume");
     assert!(resumed.is_fully_ok());
-    assert_eq!(resumed.summary().resumed, 1, "one job restored, three re-run");
+    assert_eq!(
+        resumed.summary().resumed,
+        1,
+        "one job restored, three re-run"
+    );
     let round2 = fs::read_to_string(&journal).expect("journal appended");
     assert_eq!(
         round2.lines().count(),
@@ -110,8 +107,8 @@ fn acceptance_panic_timeout_corruption_then_resume() {
     );
 
     // The merged document is byte-identical to a run that never failed.
-    let healthy = sweep(&registry, &specs, &runner, &SweepOptions::default())
-        .expect("healthy sweep");
+    let healthy =
+        sweep(&registry, &specs, &runner, &SweepOptions::default()).expect("healthy sweep");
     assert_eq!(resumed.results_json(), healthy.results_json());
 }
 
@@ -174,7 +171,11 @@ fn faulted_results_json_is_thread_count_independent() {
                 .with_fault_plan(plan.clone()),
         )
         .expect("parallel");
-        assert_eq!(serial.results_json(), parallel.results_json(), "{threads} threads");
+        assert_eq!(
+            serial.results_json(),
+            parallel.results_json(),
+            "{threads} threads"
+        );
     }
 }
 
@@ -208,8 +209,8 @@ fn corrupt_trace_file_quarantines_its_column() {
     assert!(matches!(inputs[1], TraceInput::Unavailable { .. }));
 
     let specs = small_specs();
-    let report = sweep_inputs(&registry, &specs, &inputs, &SweepOptions::default())
-        .expect("sweep starts");
+    let report =
+        sweep_inputs(&registry, &specs, &inputs, &SweepOptions::default()).expect("sweep starts");
     let summary = report.summary();
     assert_eq!((summary.ok, summary.failed), (2, 2));
     for s in 0..2 {
@@ -223,6 +224,44 @@ fn corrupt_trace_file_quarantines_its_column() {
             other => panic!("expected Failed, got {other:?}"),
         }
     }
+}
+
+/// A watchdog firing used to be invisible: the job's terminal status
+/// said `timed_out` but nothing recorded *when* the budget ran out.
+/// With an event journal attached, the timeout must appear as a
+/// timestamped `timeout` event and the job's span must close with the
+/// `timed_out` status.
+#[test]
+fn watchdog_timeout_is_visible_in_the_event_journal() {
+    let registry = bfbp::default_registry();
+    let runner = small_runner();
+    let specs = vec![PredictorSpec::new("gshare").labeled("g")];
+    let events = scratch("timeout.events.jsonl");
+
+    let options = SweepOptions::default()
+        .with_threads(1)
+        .with_timeout(Duration::from_millis(100))
+        .with_fault_plan(FaultPlan::new().delay_at(1, 60_000))
+        .with_events(&events);
+    let report = sweep(&registry, &specs, &runner, &options).expect("sweep");
+    assert_eq!(report.jobs()[1].status, JobStatus::TimedOut);
+
+    let journal = fs::read_to_string(&events).expect("event journal written");
+    let timeout_line = journal
+        .lines()
+        .find(|l| l.contains("\"ev\": \"timeout\""))
+        .unwrap_or_else(|| panic!("no timeout event in journal:\n{journal}"));
+    assert!(timeout_line.contains("\"t_us\": "), "{timeout_line}");
+    assert!(timeout_line.contains("\"job\": 1"), "{timeout_line}");
+    assert!(timeout_line.contains("\"wall_ms\": "), "{timeout_line}");
+    assert!(
+        journal.lines().any(|l| {
+            l.contains("\"ev\": \"job_close\"")
+                && l.contains("\"job\": 1")
+                && l.contains("\"status\": \"timed_out\"")
+        }),
+        "job 1's span must close with the timed_out status:\n{journal}"
+    );
 }
 
 /// A journal recorded for one matrix must refuse to resume another.
@@ -276,7 +315,6 @@ fn transient_faults_recover_within_the_retry_budget() {
     assert_eq!(report.jobs()[3].attempts, 2);
     // Attempt counts are timing metadata, not results: the document is
     // still byte-identical to a first-try-clean run.
-    let clean = sweep(&registry, &specs, &runner, &SweepOptions::default())
-        .expect("clean sweep");
+    let clean = sweep(&registry, &specs, &runner, &SweepOptions::default()).expect("clean sweep");
     assert_eq!(report.results_json(), clean.results_json());
 }

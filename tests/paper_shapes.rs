@@ -57,7 +57,9 @@ fn bf_neural_is_comparable_to_tage() {
     let report = run(
         &runner,
         &[
-            PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("tage"),
+            PredictorSpec::new("isl-tage")
+                .with("tables", 15usize)
+                .labeled("tage"),
             PredictorSpec::new("bf-neural"),
         ],
     );
@@ -136,8 +138,12 @@ fn fifteen_tables_beat_ten_on_long_history_traces() {
     let report = run(
         &runner,
         &[
-            PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("t10"),
-            PredictorSpec::new("isl-tage").with("tables", 15usize).labeled("t15"),
+            PredictorSpec::new("isl-tage")
+                .with("tables", 10usize)
+                .labeled("t10"),
+            PredictorSpec::new("isl-tage")
+                .with("tables", 15usize)
+                .labeled("t15"),
         ],
     );
     let (t10, t15) = (report.mean_mpki("t10"), report.mean_mpki("t15"));

@@ -58,7 +58,9 @@ fn every_suite_trace_runs_through_every_headline_predictor() {
     let specs = [
         PredictorSpec::new("piecewise"),
         PredictorSpec::new("bf-neural"),
-        PredictorSpec::new("isl-tage").with("tables", 10usize).labeled("isl-tage-10"),
+        PredictorSpec::new("isl-tage")
+            .with("tables", 10usize)
+            .labeled("isl-tage-10"),
         PredictorSpec::new("bf-isl-tage").labeled("bf-isl-tage-10"),
     ];
     for spec in specs {

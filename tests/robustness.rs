@@ -52,7 +52,10 @@ fn no_predictor_panics_on_arbitrary_streams() {
         ];
         for mut p in predictors {
             let r = simulate(p.as_mut(), &trace);
-            assert!(r.mispredictions() <= r.conditional_branches(), "seed {seed}");
+            assert!(
+                r.mispredictions() <= r.conditional_branches(),
+                "seed {seed}"
+            );
             assert!((0.0..=1.0).contains(&r.accuracy()), "seed {seed}");
         }
     }
