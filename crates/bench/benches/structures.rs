@@ -23,7 +23,7 @@ fn bench_structures(c: &mut Criterion) {
         let mut now = 0u64;
         b.iter(|| {
             now += 1;
-            rs.record(black_box(now % 64), now % 2 == 0, now);
+            rs.record(black_box(now % 64), now.is_multiple_of(2), now);
         })
     });
 
@@ -32,7 +32,7 @@ fn bench_structures(c: &mut Criterion) {
         let mut pc = 0u64;
         b.iter(|| {
             pc = pc.wrapping_add(4);
-            black_box(bst.commit(pc, pc % 8 != 0));
+            black_box(bst.commit(pc, !pc.is_multiple_of(8)));
         })
     });
 
@@ -41,7 +41,7 @@ fn bench_structures(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            m.push(k % 3 == 0);
+            m.push(k.is_multiple_of(3));
             black_box(m.fold(0));
         })
     });
@@ -51,7 +51,7 @@ fn bench_structures(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            f.push(k % 3 == 0);
+            f.push(k.is_multiple_of(3));
             black_box(f.widest());
         })
     });
@@ -61,14 +61,18 @@ fn bench_structures(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            ghr.commit(black_box((k % 4096) as u16), k % 2 == 0, k % 3 != 0);
+            ghr.commit(
+                black_box((k % 4096) as u16),
+                k.is_multiple_of(2),
+                !k.is_multiple_of(3),
+            );
         })
     });
 
     group.bench_function("bf_ghr_collect_mixed", |b| {
         let mut ghr = BfGhr::new();
         for k in 0..4096u64 {
-            ghr.commit((k % 512) as u16, k % 2 == 0, k % 3 != 0);
+            ghr.commit((k % 512) as u16, k.is_multiple_of(2), !k.is_multiple_of(3));
         }
         let mut out = Vec::with_capacity(160);
         b.iter(|| {

@@ -1,0 +1,151 @@
+//! Streaming-pipeline throughput smoke: the repo's first recorded perf
+//! baseline for the chunked simulation hot loop.
+//!
+//! Measures records/sec for `bf-tage` over a cached SERV trace on both
+//! consumption paths — the materialized replay (`Simulation::run_trace`)
+//! and the streamed chunk decode of the cache's BFBT entry — plus the
+//! cache's cold/warm fetch latency and the process peak RSS, and writes
+//! the numbers to `BENCH_4.json` (in `BFBP_RESULTS_DIR`, else the
+//! workspace root).
+//!
+//! ```sh
+//! cargo bench --features bench-harness --bench trace_pipeline
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bfbp_sim::registry::PredictorSpec;
+use bfbp_sim::simulate::Simulation;
+use bfbp_trace::cache::TraceCache;
+use bfbp_trace::source::FileSource;
+use bfbp_trace::synth::suite;
+
+/// Timed repetitions per path; the best (highest-throughput) rep is
+/// reported, which is the conventional way to suppress scheduler noise
+/// in a smoke-sized benchmark.
+const REPS: usize = 3;
+
+fn main() {
+    let registry = bfbp::default_registry();
+    let spec = suite::find("SERV1").expect("SERV1 in suite");
+    let n_records = spec.default_len();
+    let cache = TraceCache::from_env();
+
+    // Cold (or possibly warm, if a previous run populated the default
+    // cache dir) fetch, then a guaranteed-warm fetch for the hit timing.
+    let t0 = Instant::now();
+    let (trace, first_status) = cache.fetch(&spec, n_records);
+    let first_fetch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let (_, warm_status) = cache.fetch(&spec, n_records);
+    let warm_fetch_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let build = |registry: &bfbp_sim::registry::PredictorRegistry| {
+        registry
+            .build_spec(&PredictorSpec::new("bf-tage"))
+            .expect("bf-tage is registered")
+    };
+
+    // Warm-up pass (predictor allocation paths, branch-predictor-of-the-
+    // host effects), then timed reps.
+    let mut p = build(&registry);
+    Simulation::new(p.as_mut())
+        .run_trace(&trace)
+        .expect("never cancelled");
+
+    let mut replay_best = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build(&registry);
+        let t = Instant::now();
+        let (result, _) = Simulation::new(p.as_mut())
+            .run_trace(&trace)
+            .expect("never cancelled");
+        let rate = trace.len() as f64 / t.elapsed().as_secs_f64();
+        assert!(result.conditional_branches() > 0);
+        replay_best = replay_best.max(rate);
+    }
+
+    // Streamed path: decode the cache's own BFBT entry chunk-by-chunk,
+    // which is exactly what a `TraceInput::Streamed` sweep job does.
+    let entry = cache
+        .entry_path(&spec, n_records)
+        .filter(|p| p.exists())
+        .expect("cache entry exists after fetch (is BFBP_TRACE_CACHE=0 set?)");
+    let mut streamed_best = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build(&registry);
+        let mut source = FileSource::open(&entry).expect("cache entry opens");
+        let t = Instant::now();
+        let (result, _) = Simulation::new(p.as_mut())
+            .run(&mut source)
+            .expect("never cancelled");
+        let rate = trace.len() as f64 / t.elapsed().as_secs_f64();
+        assert!(result.instructions() > 0);
+        streamed_best = streamed_best.max(rate);
+    }
+
+    let peak_rss_kb = peak_rss_kb().unwrap_or(0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bfbp-bench/1\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_4\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"streaming trace pipeline baseline: bf-tage over cached {}\",",
+        spec.name()
+    );
+    let _ = writeln!(json, "  \"trace\": \"{}\",", spec.name());
+    let _ = writeln!(json, "  \"records\": {n_records},");
+    let _ = writeln!(json, "  \"predictor\": \"bf-tage\",");
+    let _ = writeln!(json, "  \"replay_records_per_sec\": {replay_best:.0},");
+    let _ = writeln!(json, "  \"streamed_records_per_sec\": {streamed_best:.0},");
+    let _ = writeln!(
+        json,
+        "  \"first_fetch\": {{\"status\": \"{}\", \"ms\": {:.2}}},",
+        first_status.name(),
+        first_fetch_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"warm_fetch\": {{\"status\": \"{}\", \"ms\": {:.2}}},",
+        warm_status.name(),
+        warm_fetch_ms
+    );
+    let _ = writeln!(json, "  \"peak_rss_kb\": {peak_rss_kb}");
+    json.push_str("}\n");
+
+    let path = output_dir().join("BENCH_4.json");
+    std::fs::write(&path, &json).expect("write BENCH_4.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}
+
+/// `BFBP_RESULTS_DIR` when set, else the workspace root (the parent of
+/// the cargo `target` directory the bench executable runs from).
+fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BFBP_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                if let Some(root) = ancestor.parent() {
+                    return root.to_path_buf();
+                }
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`);
+/// `None` on non-Linux or unreadable procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

@@ -13,7 +13,8 @@ use std::process::ExitCode;
 
 use bfbp_sim::obs::{job_obs_json, JobObs};
 use bfbp_sim::registry::PredictorSpec;
-use bfbp_sim::simulate::simulate_with_intervals_observed;
+use bfbp_sim::simulate::Simulation;
+use bfbp_trace::cache::TraceCache;
 use bfbp_trace::synth::suite;
 
 fn main() -> ExitCode {
@@ -59,17 +60,16 @@ fn main() -> ExitCode {
     let Some(trace_spec) = suite::find(&name) else {
         return usage(&format!("unknown trace {name:?}"));
     };
-    let trace = trace_spec.generate();
+    // Served from the machine-wide trace cache when warm; see
+    // `bfbp_trace::cache` for the `BFBP_TRACE_CACHE` knob.
+    let (trace, _status) = TraceCache::from_env().fetch(&trace_spec, trace_spec.default_len());
 
     let mut obs = JobObs::default();
-    let (result, _) = simulate_with_intervals_observed(
-        predictor.as_mut(),
-        &trace,
-        0,
-        &mut || false,
-        &mut |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted),
-    )
-    .expect("never cancelled");
+    let mut observe = |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted);
+    let (result, _) = Simulation::new(predictor.as_mut())
+        .observer(&mut observe)
+        .run_trace(&trace)
+        .expect("never cancelled");
     obs.metrics
         .counter("sim.instructions", result.instructions());
     obs.metrics

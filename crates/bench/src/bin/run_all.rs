@@ -10,6 +10,11 @@
 //! metrics and H2P tables, written as `<run>.metrics.json` beside each
 //! sweep's results; `--events PATH` (`BFBP_SWEEP_EVENTS`) appends every
 //! sweep's span/event journal to one shared `bfbp-events/1` JSONL file.
+//!
+//! `--trace-cache` / `--no-trace-cache` (`BFBP_TRACE_CACHE=1`/`0`)
+//! force the content-addressed trace cache on or off; by default the
+//! cache is enabled at `target/trace-cache/`, so a second full run
+//! performs zero synthetic generation.
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -29,6 +34,8 @@ fn main() {
                 Some(path) if !path.is_empty() => std::env::set_var("BFBP_SWEEP_EVENTS", path),
                 _ => die("--events needs a path"),
             },
+            "--trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "1"),
+            "--no-trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "0"),
             other => die(&format!("unknown argument {other:?}")),
         }
     }
@@ -48,6 +55,9 @@ fn main() {
 
 fn die(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: run_all [--retries N] [--timeout MS] [--metrics] [--events PATH]");
+    eprintln!(
+        "usage: run_all [--retries N] [--timeout MS] [--metrics] [--events PATH] \
+         [--trace-cache|--no-trace-cache]"
+    );
     std::process::exit(2);
 }

@@ -9,9 +9,15 @@
 //!       [--journal PATH] [--resume PATH]
 //!       [--metrics-out PATH] [--events-out PATH] [--progress]
 //!       [--trace-file PATH]... [--fault-plan PLAN]
+//!       [--trace-cache|--no-trace-cache]
 //!       <spec> [<spec>...]
 //! sweep --list
 //! ```
+//!
+//! Suite traces are served from the content-addressed trace cache
+//! (`target/trace-cache/` by default), so repeated sweeps skip synthetic
+//! generation entirely; `--no-trace-cache` (or `BFBP_TRACE_CACHE=0`)
+//! forces regeneration and `--trace-cache` re-enables the default.
 //!
 //! Each `<spec>` is `[label=]name[:key=value,...]`, e.g.
 //! `bf-neural`, `tage15=isl-tage:tables=15,sc=false`, or
@@ -117,6 +123,8 @@ fn main() -> ExitCode {
                 Some(path) => trace_files.push(path),
                 None => return usage("--trace-file needs a path"),
             },
+            "--trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "1"),
+            "--no-trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "0"),
             text => match PredictorSpec::parse(text) {
                 Ok(s) => specs.push(s),
                 Err(e) => return usage(&format!("bad spec {text:?}: {e}")),
@@ -245,6 +253,7 @@ fn usage(err: &str) -> ExitCode {
                       [--journal PATH] [--resume PATH]\n\
                       [--metrics-out PATH] [--events-out PATH] [--progress]\n\
                       [--trace-file PATH]... [--fault-plan PLAN]\n\
+                      [--trace-cache|--no-trace-cache]\n\
                       <spec> [<spec>...]\n\
                 sweep --list\n\
          spec: [label=]name[:key=value,...]\n\

@@ -23,12 +23,13 @@ use bfbp_core::bst::Classifier;
 use bfbp_core::profile::StaticProfile;
 use bfbp_sim::engine::{sweep, SweepOptions, SweepReport};
 use bfbp_sim::registry::{PredictorRegistry, PredictorSpec};
-use bfbp_sim::runner::SuiteRunner;
+use bfbp_sim::runner::{scaled_len, SuiteRunner};
 use bfbp_sim::simulate::{simulate, SimResult};
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_tage::config::TageConfig;
 use bfbp_tage::isl::Isl;
 use bfbp_tage::tage::Tage;
+use bfbp_trace::cache::TraceCache;
 use bfbp_trace::stats::BiasProfile;
 use bfbp_trace::synth::suite;
 
@@ -339,8 +340,7 @@ pub fn fig12_hits(scale: f64) -> Vec<(String, f64, f64)> {
     let mut out = Vec::new();
     for name in FIG12_TRACES {
         let spec = suite::find(name).expect("figure 12 trace in suite");
-        let len = ((spec.default_len() as f64 * scale) as usize).max(1000);
-        let trace = spec.generate_len(len);
+        let (trace, _) = TraceCache::from_env().fetch(&spec, scaled_len(&spec, scale));
 
         let mut tage = Tage::with_tables(15);
         simulate(&mut tage, &trace);
@@ -432,8 +432,7 @@ pub fn profile_assist(scale: f64) -> Vec<(String, f64, f64)> {
     );
     for name in ["SERV3", "FP1", "MM5"] {
         let spec = suite::find(name).expect("trace in suite");
-        let len = ((spec.default_len() as f64 * scale) as usize).max(1000);
-        let trace = spec.generate_len(len);
+        let (trace, _) = TraceCache::from_env().fetch(&spec, scaled_len(&spec, scale));
 
         let mut dynamic = bf_isl_tage(10);
         let r_dyn = simulate(&mut dynamic, &trace);

@@ -64,16 +64,15 @@ use std::time::{Duration, Instant};
 
 use bfbp_trace::format::{corrupt, read_trace, read_trace_file};
 use bfbp_trace::record::{BranchRecord, Trace};
+use bfbp_trace::source::{FileSource, TraceSource};
+use bfbp_trace::synth::suite::TraceSpec;
 
 use crate::fault::{Fault, FaultPlan};
 use crate::journal::{self, Journal, JournalError};
 use crate::obs::{self, Event, EventJournal, JobObs, Progress};
 use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
 use crate::runner::SuiteRunner;
-use crate::simulate::{
-    mean_mpki, simulate_with_intervals_observed, simulate_with_intervals_while, IntervalPoint,
-    SimResult,
-};
+use crate::simulate::{mean_mpki, IntervalPoint, SimResult, Simulation, SimulationError};
 
 /// Schema identifier of the sweep result document.
 pub const SWEEP_SCHEMA: &str = "bfbp-sweep/2";
@@ -404,13 +403,18 @@ pub struct RunSummary {
     pub resumed: usize,
 }
 
-/// One trace column of a sweep matrix: either a usable trace or a
-/// placeholder for one that failed validation on load, which
-/// quarantines exactly the jobs needing it instead of the whole run.
+/// One trace column of a sweep matrix: a materialized trace, a
+/// streaming recipe, or a placeholder for a trace that failed
+/// validation on load, which quarantines exactly the jobs needing it
+/// instead of the whole run.
 #[derive(Debug, Clone)]
 pub enum TraceInput {
     /// A healthy, shared trace.
     Ready(Arc<Trace>),
+    /// A recipe for constructing a fresh per-job streaming source, so a
+    /// job's memory is O(chunk) instead of O(trace). Boxed: the recipe
+    /// (spec + knobs) is much larger than the other variants.
+    Streamed(Box<StreamedTrace>),
     /// A trace that could not be loaded; its jobs report
     /// [`JobStatus::Failed`] without being attempted.
     Unavailable {
@@ -421,10 +425,67 @@ pub enum TraceInput {
     },
 }
 
+/// Recipe behind [`TraceInput::Streamed`]: a suite spec plus record
+/// count, and optionally a cached BFBT file to decode in preference to
+/// regenerating. Each job opens its own source, so workers never share
+/// mutable trace state.
+#[derive(Debug, Clone)]
+pub struct StreamedTrace {
+    spec: TraceSpec,
+    n_records: usize,
+    file: Option<PathBuf>,
+}
+
+impl StreamedTrace {
+    /// A recipe that synthesizes `n_records` records of `spec` on the
+    /// fly for every job.
+    pub fn new(spec: TraceSpec, n_records: usize) -> Self {
+        Self {
+            spec,
+            n_records,
+            file: None,
+        }
+    }
+
+    /// Prefer chunk-decoding this BFBT file (typically a
+    /// [`bfbp_trace::cache::TraceCache`] entry) over regenerating; a
+    /// missing or corrupt file silently falls back to synthesis.
+    pub fn with_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.file = Some(path.into());
+        self
+    }
+
+    /// The trace's display name.
+    pub fn name(&self) -> &str {
+        self.spec.name()
+    }
+
+    /// Record count every opened source delivers.
+    pub fn n_records(&self) -> usize {
+        self.n_records
+    }
+
+    /// Opens a fresh source positioned at the first record.
+    fn open_source(&self) -> Box<dyn TraceSource> {
+        if let Some(path) = &self.file {
+            if let Ok(source) = FileSource::open(path) {
+                return Box::new(source);
+            }
+        }
+        Box::new(self.spec.stream_len(self.n_records))
+    }
+}
+
 impl TraceInput {
     /// Wraps an in-memory trace.
     pub fn ready(trace: Trace) -> Self {
         TraceInput::Ready(Arc::new(trace))
+    }
+
+    /// Streams `n_records` records of a suite spec per job instead of
+    /// materializing the trace once.
+    pub fn streamed(spec: TraceSpec, n_records: usize) -> Self {
+        TraceInput::Streamed(Box::new(StreamedTrace::new(spec, n_records)))
     }
 
     /// Loads and validates a BFBT trace file; a corrupt or unreadable
@@ -449,7 +510,24 @@ impl TraceInput {
     pub fn name(&self) -> &str {
         match self {
             TraceInput::Ready(trace) => trace.name(),
+            TraceInput::Streamed(streamed) => streamed.name(),
             TraceInput::Unavailable { name, .. } => name,
+        }
+    }
+}
+
+/// Runs a configured [`Simulation`] against whatever form the trace
+/// input takes. `Unavailable` is rejected in `run_job_inner` before any
+/// attempt starts, so reaching it here is an engine bug.
+fn drive_simulation<P: crate::predictor::ConditionalPredictor + ?Sized>(
+    sim: Simulation<'_, P>,
+    input: &TraceInput,
+) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
+    match input {
+        TraceInput::Ready(trace) => sim.run_trace(trace),
+        TraceInput::Streamed(streamed) => sim.run(&mut *streamed.open_source()),
+        TraceInput::Unavailable { name, .. } => {
+            unreachable!("unavailable trace {name:?} reached the simulation loop")
         }
     }
 }
@@ -521,17 +599,6 @@ impl SweepReport {
                 .filter_map(|j| j.record().map(|r| r.result.clone()))
                 .collect(),
         )
-    }
-
-    /// Per-trace results for the series with the given label.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on an unknown label; use try_results (or try_series) \
-                and handle the None"
-    )]
-    pub fn results(&self, label: &str) -> Vec<SimResult> {
-        self.try_results(label)
-            .unwrap_or_else(|| panic!("no sweep series labeled {label:?}"))
     }
 
     /// `(label, successful per-trace results)` for every series, in
@@ -943,7 +1010,7 @@ impl SweepContext<'_> {
         &self,
         job: usize,
         attempt: u32,
-        trace: &Arc<Trace>,
+        input: &TraceInput,
         fault: Option<&Fault>,
         cancel: &CancelSignal<'_>,
     ) -> Result<(JobRecord, Option<Box<JobObs>>), AttemptError> {
@@ -976,24 +1043,37 @@ impl SweepContext<'_> {
                 .build_spec(spec)
                 .map_err(|e| AttemptError::Failed(format!("predictor build failed: {e}")))?;
             let mut obs = self.collect_metrics.then(|| Box::new(JobObs::default()));
+            let mut cancelled = || cancel.cancelled();
+            // Both arms drive the same chunked loop; the observed arm
+            // additionally feeds the H2P table. Ready traces replay in
+            // place, streamed traces open a fresh per-job source —
+            // either way the record sequence, and therefore the result
+            // document, is identical.
             let sim = match &mut obs {
-                // The observed loop feeds the H2P table; the plain loop
-                // is the byte-for-byte reference path.
-                Some(obs) => simulate_with_intervals_observed(
-                    predictor.as_mut(),
-                    trace,
-                    self.interval_insts,
-                    &mut || cancel.cancelled(),
-                    &mut |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted),
-                ),
-                None => simulate_with_intervals_while(
-                    predictor.as_mut(),
-                    trace,
-                    self.interval_insts,
-                    &mut || cancel.cancelled(),
+                Some(obs) => {
+                    let mut observe =
+                        |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted);
+                    drive_simulation(
+                        Simulation::new(predictor.as_mut())
+                            .intervals(self.interval_insts)
+                            .cancel(&mut cancelled)
+                            .observer(&mut observe),
+                        input,
+                    )
+                }
+                None => drive_simulation(
+                    Simulation::new(predictor.as_mut())
+                        .intervals(self.interval_insts)
+                        .cancel(&mut cancelled),
+                    input,
                 ),
             };
-            let (result, intervals) = sim.map_err(|_| AttemptError::Cancelled)?;
+            let (result, intervals) = sim.map_err(|e| match e {
+                SimulationError::Aborted => AttemptError::Cancelled,
+                SimulationError::Source(err) => {
+                    AttemptError::Failed(format!("trace stream failed: {err}"))
+                }
+            })?;
             if let Some(obs) = &mut obs {
                 obs.metrics
                     .counter("sim.instructions", result.instructions());
@@ -1074,25 +1154,23 @@ impl SweepContext<'_> {
                 None,
             );
         }
-        let trace = match &self.inputs[job % self.n_traces] {
-            TraceInput::Ready(trace) => trace.clone(),
-            TraceInput::Unavailable { name, error } => {
-                return (
-                    JobOutcome {
-                        status: JobStatus::Failed {
-                            error: format!("trace {name:?} unavailable: {error}"),
-                        },
-                        attempts: 0,
-                        wall: job_start.elapsed(),
+        let input = &self.inputs[job % self.n_traces];
+        if let TraceInput::Unavailable { name, error } = input {
+            return (
+                JobOutcome {
+                    status: JobStatus::Failed {
+                        error: format!("trace {name:?} unavailable: {error}"),
                     },
-                    None,
-                );
-            }
-        };
+                    attempts: 0,
+                    wall: job_start.elapsed(),
+                },
+                None,
+            );
+        }
         let max_attempts = self.retry.max_attempts.max(1);
         let mut last_error = String::new();
         for attempt in 1..=max_attempts {
-            match self.run_attempt(job, attempt, &trace, fault, cancel) {
+            match self.run_attempt(job, attempt, input, fault, cancel) {
                 Ok((record, obs)) => {
                     return (
                         JobOutcome {
@@ -1692,16 +1770,6 @@ mod tests {
         assert_eq!(hardened.timeout, Some(Duration::from_secs(5)));
         // Malformed values fall back to defaults.
         assert_eq!(env(Some("many"), None, Some("0")), SweepOptions::default());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_results_still_panics_on_unknown_label() {
-        let registry = PredictorRegistry::with_builtins();
-        let runner = tiny_runner();
-        let report = sweep_serial(&registry, &two_specs(), &runner).unwrap();
-        assert_eq!(report.results("T").len(), 2);
-        assert!(std::panic::catch_unwind(AssertUnwindSafe(|| report.results("nope"))).is_err());
     }
 
     #[test]

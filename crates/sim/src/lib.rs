@@ -32,7 +32,7 @@ pub mod storage;
 
 pub use engine::{
     sweep, sweep_inputs, sweep_serial, JobOutcome, JobRecord, JobStatus, RetryPolicy, RunSummary,
-    SweepError, SweepOptions, SweepReport, TraceInput,
+    StreamedTrace, SweepError, SweepOptions, SweepReport, TraceInput,
 };
 pub use fault::{Fault, FaultPlan, FaultPlanParseError};
 pub use journal::{Journal, JournalError};
@@ -43,7 +43,10 @@ pub use obs::{
 pub use predictor::ConditionalPredictor;
 pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
 pub use simulate::{
-    mean_mpki, simulate, simulate_with_intervals, simulate_with_intervals_observed,
-    simulate_with_intervals_while, IntervalPoint, SimResult, SimulationAborted,
+    mean_mpki, simulate, IntervalPoint, SimResult, Simulation, SimulationAborted, SimulationError,
+};
+#[allow(deprecated)]
+pub use simulate::{
+    simulate_with_intervals, simulate_with_intervals_observed, simulate_with_intervals_while,
 };
 pub use storage::StorageBreakdown;

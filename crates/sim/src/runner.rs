@@ -1,17 +1,27 @@
-//! Suite runner: generate the 40-trace suite once, then run many
-//! predictor configurations over it.
+//! Suite runner: generate (or fetch from cache) the 40-trace suite
+//! once, then run many predictor configurations over it.
 //!
 //! Trace generation is cheap relative to prediction but not free; every
 //! figure harness compares several predictors on the same traces, so the
 //! runner materializes each trace a single time. Traces are held behind
 //! `Arc` so the parallel [`engine`](crate::engine) can share them across
 //! worker threads without copying.
+//!
+//! [`SuiteRunner::generate`] additionally routes every trace through the
+//! machine-wide [`TraceCache`] (honouring `BFBP_TRACE_CACHE`), so across
+//! processes the synthetic generator runs at most once per
+//! `(spec, length)` pair. Each fetch is reported to the
+//! `BFBP_SWEEP_EVENTS` journal (when set) as a `trace_cache` event, which
+//! is how the test suite asserts that a warm cache performs *zero*
+//! generation work.
 
 use std::sync::Arc;
 
+use bfbp_trace::cache::TraceCache;
 use bfbp_trace::record::Trace;
 use bfbp_trace::synth::suite::{self, TraceSpec};
 
+use crate::obs::{Event, EventJournal};
 use crate::predictor::ConditionalPredictor;
 use crate::registry::{BuildError, PredictorRegistry, PredictorSpec};
 use crate::simulate::{simulate, SimResult};
@@ -24,20 +34,58 @@ pub struct SuiteRunner {
 }
 
 impl SuiteRunner {
-    /// Generates the full 40-trace suite, scaling every trace's default
-    /// length by `scale` (e.g. `0.1` for a fast smoke run). A minimum of
-    /// 1000 records per trace is enforced.
+    /// Materializes the full 40-trace suite, scaling every trace's
+    /// default length by `scale` (e.g. `0.1` for a fast smoke run). A
+    /// minimum of 1000 records per trace is enforced. Traces are served
+    /// from the environment-configured [`TraceCache`] when possible, and
+    /// cache activity is journaled to the `BFBP_SWEEP_EVENTS` path when
+    /// that variable is set.
     pub fn generate(scale: f64) -> Self {
-        Self::from_specs(suite::suite(), scale)
+        let events = std::env::var("BFBP_SWEEP_EVENTS")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .and_then(|path| EventJournal::open(path).ok());
+        Self::from_specs_cached(
+            suite::suite(),
+            scale,
+            &TraceCache::from_env(),
+            events.as_ref(),
+        )
     }
 
-    /// Generates traces for an explicit set of specs.
+    /// Generates traces for an explicit set of specs, always running the
+    /// synthetic generator (no cache I/O). Prefer
+    /// [`SuiteRunner::from_specs_cached`] for repeated runs.
     pub fn from_specs(specs: Vec<TraceSpec>, scale: f64) -> Self {
+        Self::from_specs_cached(specs, scale, &TraceCache::disabled(), None)
+    }
+
+    /// Materializes traces for `specs`, serving each from `cache` when a
+    /// valid entry exists and generating (then storing) otherwise. Every
+    /// fetch emits a `trace_cache` event to `events` recording the trace
+    /// name, record count, and [`CacheStatus`](bfbp_trace::CacheStatus)
+    /// keyword, so journals make cache behaviour auditable.
+    pub fn from_specs_cached(
+        specs: Vec<TraceSpec>,
+        scale: f64,
+        cache: &TraceCache,
+        events: Option<&EventJournal>,
+    ) -> Self {
         let traces = specs
             .iter()
             .map(|spec| {
-                let len = ((spec.default_len() as f64 * scale) as usize).max(1000);
-                Arc::new(spec.generate_len(len))
+                let len = scaled_len(spec, scale);
+                let (trace, status) = cache.fetch(spec, len);
+                if let Some(journal) = events {
+                    journal.emit(
+                        Event::new("trace_cache")
+                            .str("trace", spec.name())
+                            .num("records", len as u64)
+                            .str("status", status.name())
+                            .num("generated", u64::from(status.generated())),
+                    );
+                }
+                Arc::new(trace)
             })
             .collect();
         Self { specs, traces }
@@ -52,28 +100,6 @@ impl SuiteRunner {
     /// (`Arc`) so sweep workers can borrow them across threads.
     pub fn traces(&self) -> &[Arc<Trace>] {
         &self.traces
-    }
-
-    /// Runs a fresh predictor (built by `factory`) over every trace,
-    /// returning per-trace results in suite order.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build predictors through the PredictorRegistry and use \
-                engine::sweep (or SuiteRunner::run_spec) instead of ad-hoc \
-                factory closures"
-    )]
-    pub fn run<F>(&self, mut factory: F) -> Vec<SimResult>
-    where
-        F: FnMut(&TraceSpec) -> Box<dyn ConditionalPredictor>,
-    {
-        self.specs
-            .iter()
-            .zip(&self.traces)
-            .map(|(spec, trace)| {
-                let mut predictor = factory(spec);
-                simulate(predictor.as_mut(), trace)
-            })
-            .collect()
     }
 
     /// Runs one registry-built configuration over every trace, building a
@@ -111,6 +137,14 @@ impl SuiteRunner {
     }
 }
 
+/// The record count a spec materializes at scale `scale`: the default
+/// length scaled, floored at 1000 records. This is the shared sizing rule
+/// for the runner, streamed sweep inputs, and the trace cache — all three
+/// must agree or cache keys diverge from sweep contents.
+pub fn scaled_len(spec: &TraceSpec, scale: f64) -> usize {
+    ((spec.default_len() as f64 * scale) as usize).max(1000)
+}
+
 /// Reads the `BFBP_TRACE_SCALE` environment variable as a scale factor
 /// for suite generation; defaults to `default` when unset or malformed.
 /// Figure harnesses use this so a quick smoke run (`BFBP_TRACE_SCALE=0.05`)
@@ -135,6 +169,7 @@ where
 mod tests {
     use super::*;
     use crate::predictor::StaticPredictor;
+    use bfbp_trace::cache::CacheStatus;
 
     #[test]
     fn generates_all_forty_traces() {
@@ -150,31 +185,40 @@ mod tests {
     fn minimum_length_is_enforced() {
         let runner = SuiteRunner::from_specs(vec![suite::find("FP1").unwrap()], 1e-9);
         assert_eq!(runner.traces()[0].len(), 1000);
+        assert_eq!(scaled_len(&suite::find("FP1").unwrap(), 1e-9), 1000);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_produces_one_result_per_trace() {
+    fn cached_from_specs_matches_uncached() {
+        let dir = std::env::temp_dir().join(format!("bfbp-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TraceCache::at(&dir);
+        let specs = vec![suite::find("SPEC00").unwrap(), suite::find("MM2").unwrap()];
+        let plain = SuiteRunner::from_specs(specs.clone(), 0.01);
+        let cold = SuiteRunner::from_specs_cached(specs.clone(), 0.01, &cache, None);
+        let warm = SuiteRunner::from_specs_cached(specs.clone(), 0.01, &cache, None);
+        for i in 0..specs.len() {
+            assert_eq!(plain.traces()[i], cold.traces()[i]);
+            assert_eq!(plain.traces()[i], warm.traces()[i]);
+        }
+        // The warm pass is really served from disk.
+        let len = scaled_len(&specs[0], 0.01);
+        assert_eq!(cache.fetch(&specs[0], len).1, CacheStatus::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_spec_produces_one_result_per_trace() {
         let specs = vec![suite::find("SPEC00").unwrap(), suite::find("MM2").unwrap()];
         let runner = SuiteRunner::from_specs(specs, 0.01);
-        let results = runner.run(|_| Box::new(StaticPredictor::always_taken()));
+        let registry = PredictorRegistry::with_builtins();
+        let results = runner
+            .run_spec(&registry, &PredictorSpec::new("static-taken"))
+            .unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].trace_name(), "SPEC00");
         assert_eq!(results[1].trace_name(), "MM2");
         assert!(results.iter().all(|r| r.conditional_branches() > 0));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn run_spec_matches_deprecated_run() {
-        let specs = vec![suite::find("SPEC00").unwrap(), suite::find("MM2").unwrap()];
-        let runner = SuiteRunner::from_specs(specs, 0.01);
-        let registry = PredictorRegistry::with_builtins();
-        let via_registry = runner
-            .run_spec(&registry, &PredictorSpec::new("static-taken"))
-            .unwrap();
-        let via_factory = runner.run(|_| Box::new(StaticPredictor::always_taken()));
-        assert_eq!(via_registry, via_factory);
     }
 
     #[test]

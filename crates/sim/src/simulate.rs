@@ -1,8 +1,17 @@
 //! The trace-driven simulation loop and its result type.
+//!
+//! The hot loop consumes structure-of-arrays [`TraceChunk`]s from any
+//! [`TraceSource`], so a simulation's working set is O(chunk) whether
+//! the trace is materialized, decoded from disk, or generated on the
+//! fly. The [`Simulation`] builder is the one entry point; the older
+//! `simulate_with_intervals*` free functions survive as thin deprecated
+//! wrappers.
 
 use std::fmt;
 
 use bfbp_trace::record::{BranchRecord, Trace};
+use bfbp_trace::source::{ReplaySource, TraceChunk, TraceSource};
+use bfbp_trace::TraceFormatError;
 
 use crate::predictor::ConditionalPredictor;
 
@@ -119,9 +128,13 @@ impl IntervalPoint {
 ///
 /// Conditional records are predicted and then immediately used for
 /// training; other records are passed to
-/// [`ConditionalPredictor::track_other`].
+/// [`ConditionalPredictor::track_other`]. Shorthand for an unadorned
+/// [`Simulation`] run.
 pub fn simulate<P: ConditionalPredictor + ?Sized>(predictor: &mut P, trace: &Trace) -> SimResult {
-    simulate_with_intervals(predictor, trace, 0).0
+    match Simulation::new(predictor).run_trace(trace) {
+        Ok((result, _)) => result,
+        Err(e) => unreachable!("uncancellable replay cannot fail: {e}"),
+    }
 }
 
 /// Marker error: a cancellable simulation observed its cancellation
@@ -139,41 +152,282 @@ impl fmt::Display for SimulationAborted {
 impl std::error::Error for SimulationAborted {}
 
 /// How many records a cancellable simulation processes between
-/// cancellation checks. Coarse enough to keep the signal off the hot
-/// path, fine enough that a watchdogged job stops within microseconds
-/// of its flag being raised.
+/// cancellation checks — also the default [`Simulation`] chunk size, so
+/// a chunk boundary doubles as a cancellation point. Coarse enough to
+/// keep the signal off the hot path, fine enough that a watchdogged job
+/// stops within microseconds of its flag being raised.
 pub const CANCEL_CHECK_RECORDS: u64 = 4096;
 
-/// [`simulate_with_intervals`] with a cooperative cancellation point:
-/// `cancelled` is polled every [`CANCEL_CHECK_RECORDS`] records, and a
-/// `true` return abandons the run with [`SimulationAborted`].
+/// Error from a [`Simulation`] run.
+#[derive(Debug)]
+pub enum SimulationError {
+    /// The cancellation hook returned `true`; partial counts are
+    /// discarded.
+    Aborted,
+    /// A streaming source failed to decode its byte stream. Replayed
+    /// and synthetic sources never produce this.
+    Source(TraceFormatError),
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Aborted => write!(f, "{SimulationAborted}"),
+            SimulationError::Source(e) => write!(f, "trace source failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulationError::Aborted => None,
+            SimulationError::Source(e) => Some(e),
+        }
+    }
+}
+
+impl From<TraceFormatError> for SimulationError {
+    fn from(e: TraceFormatError) -> Self {
+        SimulationError::Source(e)
+    }
+}
+
+/// Builder for one simulation run: a predictor plus optional interval
+/// collection, a cancellation hook, and a per-branch observation hook.
 ///
-/// This is the mechanism behind the sweep engine's per-job wall-clock
-/// timeout — the watchdog raises a flag, the simulation loop observes
-/// it here. Cancellation never alters results: a run that completes is
-/// bit-identical to an uncancellable one.
+/// ```
+/// use bfbp_sim::predictor::StaticPredictor;
+/// use bfbp_sim::simulate::Simulation;
+/// use bfbp_trace::record::{BranchRecord, Trace};
+///
+/// let trace = Trace::new("t", vec![BranchRecord::cond(0x40, 0x80, true, 4)]);
+/// let mut predictor = StaticPredictor::always_taken();
+/// let (result, _intervals) = Simulation::new(&mut predictor)
+///     .intervals(100)
+///     .run_trace(&trace)
+///     .unwrap();
+/// assert_eq!(result.mispredictions(), 0);
+/// ```
+///
+/// [`Simulation::run`] accepts any [`TraceSource`], consuming it in
+/// structure-of-arrays chunks so memory stays O(chunk); the record
+/// sequence — and therefore every count, interval window, and
+/// observation — is identical whichever source delivers the trace.
+pub struct Simulation<'a, P: ConditionalPredictor + ?Sized> {
+    predictor: &'a mut P,
+    interval_insts: u64,
+    chunk_records: usize,
+    cancel: Option<&'a mut dyn FnMut() -> bool>,
+    observer: Option<&'a mut dyn FnMut(u64, bool, bool)>,
+}
+
+impl<P: ConditionalPredictor + ?Sized> fmt::Debug for Simulation<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("predictor", &self.predictor.name())
+            .field("interval_insts", &self.interval_insts)
+            .field("chunk_records", &self.chunk_records)
+            .field("cancel", &self.cancel.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
+    /// Starts a run of `predictor` with no intervals, no cancellation,
+    /// and no observer.
+    pub fn new(predictor: &'a mut P) -> Self {
+        Self {
+            predictor,
+            interval_insts: 0,
+            chunk_records: CANCEL_CHECK_RECORDS as usize,
+            cancel: None,
+            observer: None,
+        }
+    }
+
+    /// Collects windowed counts every `interval_insts` committed
+    /// instructions (`0`, the default, disables collection).
+    ///
+    /// Window boundaries land on record boundaries, so a window may
+    /// overrun `interval_insts` by at most one record; the final
+    /// (possibly short) window is always emitted when any instructions
+    /// remain. Summing the interval counts always reproduces the totals
+    /// in the [`SimResult`].
+    pub fn intervals(mut self, interval_insts: u64) -> Self {
+        self.interval_insts = interval_insts;
+        self
+    }
+
+    /// Overrides the chunk size in records (default
+    /// [`CANCEL_CHECK_RECORDS`]). Results never depend on the chunk
+    /// size; only memory footprint and cancellation latency do.
+    pub fn chunk_records(mut self, n: usize) -> Self {
+        self.chunk_records = n.max(1);
+        self
+    }
+
+    /// Installs a cooperative cancellation hook, polled at every chunk
+    /// boundary; a `true` return abandons the run with
+    /// [`SimulationError::Aborted`].
+    ///
+    /// This is the mechanism behind the sweep engine's per-job
+    /// wall-clock timeout — the watchdog raises a flag, the simulation
+    /// loop observes it here. Cancellation never alters results: a run
+    /// that completes is bit-identical to an uncancellable one.
+    pub fn cancel(mut self, cancelled: &'a mut dyn FnMut() -> bool) -> Self {
+        self.cancel = Some(cancelled);
+        self
+    }
+
+    /// Installs a per-branch observation hook: `observe(pc, taken,
+    /// mispredicted)` fires for every conditional branch *after* its
+    /// prediction resolves — the attribution tap behind
+    /// [`crate::obs::H2pTable`]. Observation never feeds back into the
+    /// predictor, so observed and unobserved runs produce identical
+    /// results.
+    pub fn observer(mut self, observe: &'a mut dyn FnMut(u64, bool, bool)) -> Self {
+        self.observer = Some(observe);
+        self
+    }
+
+    /// Runs the simulation over `source`, chunk by chunk, to
+    /// completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::Aborted`] when the cancellation hook fires,
+    /// [`SimulationError::Source`] when the source fails to decode.
+    pub fn run<S: TraceSource + ?Sized>(
+        self,
+        source: &mut S,
+    ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
+        let Simulation {
+            predictor,
+            interval_insts,
+            chunk_records,
+            mut cancel,
+            mut observer,
+        } = self;
+        let trace_name = source.name().to_owned();
+        let mut conditional_branches = 0u64;
+        let mut mispredictions = 0u64;
+        let mut instructions = 0u64;
+        let mut intervals = Vec::new();
+        let mut window = IntervalPoint {
+            instructions: 0,
+            conditional_branches: 0,
+            mispredictions: 0,
+        };
+        let mut chunk = TraceChunk::with_capacity(chunk_records);
+        loop {
+            let n = source.fill_chunk(&mut chunk, chunk_records)?;
+            if n == 0 {
+                break;
+            }
+            // The chunk boundary is the cancellation point: with the
+            // default chunk size this polls at the same record indices
+            // the per-record loop historically did, and a completed
+            // trace is never aborted by a trailing poll.
+            if let Some(cancelled) = cancel.as_mut() {
+                if cancelled() {
+                    return Err(SimulationError::Aborted);
+                }
+            }
+            let pcs = chunk.pcs();
+            let targets = chunk.targets();
+            let kinds = chunk.kinds();
+            let takens = chunk.takens();
+            let gaps = chunk.inst_gaps();
+            for i in 0..n {
+                let insts = u64::from(gaps[i]) + 1;
+                instructions += insts;
+                window.instructions += insts;
+                if kinds[i].is_conditional() {
+                    conditional_branches += 1;
+                    window.conditional_branches += 1;
+                    let guess = predictor.predict(pcs[i]);
+                    if guess != takens[i] {
+                        mispredictions += 1;
+                        window.mispredictions += 1;
+                    }
+                    if let Some(observe) = observer.as_mut() {
+                        observe(pcs[i], takens[i], guess != takens[i]);
+                    }
+                    predictor.update(pcs[i], takens[i], targets[i]);
+                } else {
+                    predictor.track_other(&chunk.record(i));
+                }
+                // Interval windows close on exact record boundaries;
+                // this check cannot move to the chunk boundary without
+                // breaking byte-identity with the materialized path.
+                if interval_insts > 0 && window.instructions >= interval_insts {
+                    intervals.push(window);
+                    window = IntervalPoint {
+                        instructions: 0,
+                        conditional_branches: 0,
+                        mispredictions: 0,
+                    };
+                }
+            }
+        }
+        if interval_insts > 0 && window.instructions > 0 {
+            intervals.push(window);
+        }
+        let result = SimResult {
+            trace_name,
+            predictor_name: predictor.name().into_owned(),
+            conditional_branches,
+            mispredictions,
+            instructions,
+        };
+        Ok((result, intervals))
+    }
+
+    /// [`Simulation::run`] over an already-materialized trace (replayed
+    /// in chunks; no copy of the records is made).
+    ///
+    /// # Errors
+    ///
+    /// [`SimulationError::Aborted`] when the cancellation hook fires;
+    /// replay cannot fail to decode.
+    pub fn run_trace(
+        self,
+        trace: &Trace,
+    ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
+        self.run(&mut ReplaySource::new(trace))
+    }
+}
+
+/// [`simulate_with_intervals`] with a cooperative cancellation point.
+#[deprecated(
+    since = "0.4.0",
+    note = "use Simulation::new(predictor).intervals(n).cancel(cancelled).run_trace(trace)"
+)]
 pub fn simulate_with_intervals_while<P: ConditionalPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
     interval_insts: u64,
     cancelled: &mut dyn FnMut() -> bool,
 ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
-    // The no-op observer is a zero-sized closure: monomorphization makes
-    // this path identical to a loop with no observation hook at all.
-    run_records(
-        predictor,
-        trace,
-        interval_insts,
-        cancelled,
-        &mut |_, _, _| {},
-    )
+    match Simulation::new(predictor)
+        .intervals(interval_insts)
+        .cancel(cancelled)
+        .run_trace(trace)
+    {
+        Ok(out) => Ok(out),
+        Err(SimulationError::Aborted) => Err(SimulationAborted),
+        Err(SimulationError::Source(e)) => unreachable!("replay cannot fail to decode: {e}"),
+    }
 }
 
-/// [`simulate_with_intervals_while`] with a per-branch observation hook:
-/// `observe(pc, taken, mispredicted)` fires for every conditional branch
-/// *after* its prediction resolves — the attribution tap behind
-/// [`crate::obs::H2pTable`]. Observation never feeds back into the
-/// predictor, so observed and unobserved runs produce identical results.
+/// [`simulate_with_intervals_while`] with a per-branch observation hook.
+#[deprecated(
+    since = "0.4.0",
+    note = "use Simulation::new(predictor).intervals(n).cancel(cancelled)\
+            .observer(observe).run_trace(trace)"
+)]
 pub fn simulate_with_intervals_observed<P: ConditionalPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
@@ -181,85 +435,37 @@ pub fn simulate_with_intervals_observed<P: ConditionalPredictor + ?Sized>(
     cancelled: &mut dyn FnMut() -> bool,
     observe: &mut dyn FnMut(u64, bool, bool),
 ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
-    run_records(predictor, trace, interval_insts, cancelled, observe)
-}
-
-fn run_records<P, O>(
-    predictor: &mut P,
-    trace: &Trace,
-    interval_insts: u64,
-    cancelled: &mut dyn FnMut() -> bool,
-    observe: &mut O,
-) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted>
-where
-    P: ConditionalPredictor + ?Sized,
-    O: FnMut(u64, bool, bool) + ?Sized,
-{
-    let mut conditional_branches = 0u64;
-    let mut mispredictions = 0u64;
-    let mut instructions = 0u64;
-    let mut intervals = Vec::new();
-    let mut window = IntervalPoint {
-        instructions: 0,
-        conditional_branches: 0,
-        mispredictions: 0,
-    };
-    for (i, record) in trace.records().iter().enumerate() {
-        if (i as u64).is_multiple_of(CANCEL_CHECK_RECORDS) && cancelled() {
-            return Err(SimulationAborted);
-        }
-        instructions += record.instructions();
-        window.instructions += record.instructions();
-        if record.kind.is_conditional() {
-            conditional_branches += 1;
-            window.conditional_branches += 1;
-            let guess = predictor.predict(record.pc);
-            if guess != record.taken {
-                mispredictions += 1;
-                window.mispredictions += 1;
-            }
-            observe(record.pc, record.taken, guess != record.taken);
-            predictor.update(record.pc, record.taken, record.target);
-        } else {
-            predictor.track_other(record);
-        }
-        if interval_insts > 0 && window.instructions >= interval_insts {
-            intervals.push(window);
-            window = IntervalPoint {
-                instructions: 0,
-                conditional_branches: 0,
-                mispredictions: 0,
-            };
-        }
+    match Simulation::new(predictor)
+        .intervals(interval_insts)
+        .cancel(cancelled)
+        .observer(observe)
+        .run_trace(trace)
+    {
+        Ok(out) => Ok(out),
+        Err(SimulationError::Aborted) => Err(SimulationAborted),
+        Err(SimulationError::Source(e)) => unreachable!("replay cannot fail to decode: {e}"),
     }
-    if interval_insts > 0 && window.instructions > 0 {
-        intervals.push(window);
-    }
-    let result = SimResult {
-        trace_name: trace.name().to_owned(),
-        predictor_name: predictor.name().into_owned(),
-        conditional_branches,
-        mispredictions,
-        instructions,
-    };
-    Ok((result, intervals))
 }
 
 /// [`simulate`], additionally collecting windowed counts every
 /// `interval_insts` committed instructions (`0` disables collection and
 /// returns an empty vector).
-///
-/// Window boundaries land on record boundaries, so a window may overrun
-/// `interval_insts` by at most one record; the final (possibly short)
-/// window is always emitted when any instructions remain. Summing the
-/// interval counts always reproduces the totals in the [`SimResult`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use Simulation::new(predictor).intervals(n).run_trace(trace)"
+)]
 pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
     predictor: &mut P,
     trace: &Trace,
     interval_insts: u64,
 ) -> (SimResult, Vec<IntervalPoint>) {
-    simulate_with_intervals_while(predictor, trace, interval_insts, &mut || false)
-        .expect("never-cancelled simulation cannot abort")
+    match Simulation::new(predictor)
+        .intervals(interval_insts)
+        .run_trace(trace)
+    {
+        Ok(out) => out,
+        Err(e) => unreachable!("uncancellable replay cannot fail: {e}"),
+    }
 }
 
 /// Runs `predictor` over a stream of records without collecting a trace
@@ -364,7 +570,10 @@ mod tests {
     fn intervals_sum_to_totals() {
         let trace = trace_tnt();
         let mut p = StaticPredictor::always_taken();
-        let (result, intervals) = simulate_with_intervals(&mut p, &trace, 10);
+        let (result, intervals) = Simulation::new(&mut p)
+            .intervals(10)
+            .run_trace(&trace)
+            .unwrap();
         // 25 instructions in windows of >= 10: records of 5,5,10,5 insts
         // close windows at 10 and 20, leaving a 5-inst tail.
         assert_eq!(intervals.len(), 3);
@@ -386,7 +595,7 @@ mod tests {
 
         // interval_insts = 0 disables collection.
         let mut p2 = StaticPredictor::always_taken();
-        let (r2, none) = simulate_with_intervals(&mut p2, &trace, 0);
+        let (r2, none) = Simulation::new(&mut p2).run_trace(&trace).unwrap();
         assert_eq!(r2, result);
         assert!(none.is_empty());
     }
@@ -396,18 +605,29 @@ mod tests {
         let trace = trace_tnt();
         // Immediate cancellation aborts before any record.
         let mut p = StaticPredictor::always_taken();
-        assert_eq!(
-            simulate_with_intervals_while(&mut p, &trace, 0, &mut || true),
-            Err(SimulationAborted)
-        );
+        let mut always = || true;
+        assert!(matches!(
+            Simulation::new(&mut p)
+                .cancel(&mut always)
+                .run_trace(&trace),
+            Err(SimulationError::Aborted)
+        ));
         // A never-firing signal reproduces the plain path exactly.
         let mut p1 = StaticPredictor::always_taken();
         let mut p2 = StaticPredictor::always_taken();
-        let plain = simulate_with_intervals(&mut p1, &trace, 10);
-        let cancellable =
-            simulate_with_intervals_while(&mut p2, &trace, 10, &mut || false).unwrap();
+        let plain = Simulation::new(&mut p1)
+            .intervals(10)
+            .run_trace(&trace)
+            .unwrap();
+        let mut never = || false;
+        let cancellable = Simulation::new(&mut p2)
+            .intervals(10)
+            .cancel(&mut never)
+            .run_trace(&trace)
+            .unwrap();
         assert_eq!(plain, cancellable);
         assert!(!format!("{SimulationAborted}").is_empty());
+        assert!(!format!("{}", SimulationError::Aborted).is_empty());
     }
 
     #[test]
@@ -415,16 +635,17 @@ mod tests {
         let trace = trace_tnt();
         let mut p1 = StaticPredictor::always_taken();
         let mut p2 = StaticPredictor::always_taken();
-        let plain = simulate_with_intervals(&mut p1, &trace, 10);
+        let plain = Simulation::new(&mut p1)
+            .intervals(10)
+            .run_trace(&trace)
+            .unwrap();
         let mut seen = Vec::new();
-        let observed = simulate_with_intervals_observed(
-            &mut p2,
-            &trace,
-            10,
-            &mut || false,
-            &mut |pc, taken, mispredicted| seen.push((pc, taken, mispredicted)),
-        )
-        .unwrap();
+        let mut observe = |pc, taken, mispredicted| seen.push((pc, taken, mispredicted));
+        let observed = Simulation::new(&mut p2)
+            .intervals(10)
+            .observer(&mut observe)
+            .run_trace(&trace)
+            .unwrap();
         assert_eq!(plain, observed);
         assert_eq!(
             seen,
@@ -433,6 +654,71 @@ mod tests {
                 (0x10, false, true),
                 (0x10, true, false)
             ]
+        );
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results() {
+        let spec = bfbp_trace::synth::suite::find("FP2").unwrap();
+        let trace = spec.generate_len(2500);
+        let mut p0 = StaticPredictor::always_taken();
+        let reference = Simulation::new(&mut p0)
+            .intervals(500)
+            .run_trace(&trace)
+            .unwrap();
+        for chunk in [1usize, 7, 100, 2500, 10_000] {
+            let mut p = StaticPredictor::always_taken();
+            let chunked = Simulation::new(&mut p)
+                .intervals(500)
+                .chunk_records(chunk)
+                .run_trace(&trace)
+                .unwrap();
+            assert_eq!(chunked, reference, "chunk_records = {chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_synthetic_source_matches_replay() {
+        let spec = bfbp_trace::synth::suite::find("SPEC03").unwrap();
+        let trace = spec.generate_len(3000);
+        let mut p1 = StaticPredictor::always_taken();
+        let replayed = Simulation::new(&mut p1)
+            .intervals(400)
+            .run_trace(&trace)
+            .unwrap();
+        let mut p2 = StaticPredictor::always_taken();
+        let streamed = Simulation::new(&mut p2)
+            .intervals(400)
+            .run(&mut spec.stream_len(3000))
+            .unwrap();
+        assert_eq!(replayed, streamed);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        let trace = trace_tnt();
+        let mut p0 = StaticPredictor::always_taken();
+        let reference = Simulation::new(&mut p0)
+            .intervals(10)
+            .run_trace(&trace)
+            .unwrap();
+        let mut p1 = StaticPredictor::always_taken();
+        assert_eq!(simulate_with_intervals(&mut p1, &trace, 10), reference);
+        let mut p2 = StaticPredictor::always_taken();
+        assert_eq!(
+            simulate_with_intervals_while(&mut p2, &trace, 10, &mut || false),
+            Ok(reference.clone())
+        );
+        let mut p3 = StaticPredictor::always_taken();
+        assert_eq!(
+            simulate_with_intervals_while(&mut p3, &trace, 10, &mut || true),
+            Err(SimulationAborted)
+        );
+        let mut p4 = StaticPredictor::always_taken();
+        assert_eq!(
+            simulate_with_intervals_observed(&mut p4, &trace, 10, &mut || false, &mut |_, _, _| {}),
+            Ok(reference)
         );
     }
 

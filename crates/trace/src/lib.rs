@@ -26,13 +26,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod format;
 pub mod record;
 pub mod rng;
+pub mod source;
 pub mod stats;
 pub mod synth;
 
+pub use cache::{CacheStatus, TraceCache};
 pub use format::{
     read_trace, read_trace_file, write_trace, TraceFormatError, TraceReader, TraceWriter,
 };
 pub use record::{BranchKind, BranchRecord, Trace};
+pub use source::{
+    collect_source, FileSource, ReplaySource, SynthSource, TraceChunk, TraceSource,
+    DEFAULT_CHUNK_RECORDS,
+};

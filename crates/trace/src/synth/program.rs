@@ -249,12 +249,7 @@ impl Program {
     pub fn stream(&self, seed: u64) -> ProgramStream<'_> {
         ProgramStream {
             program: self,
-            state: EvalState::new(self.branches.len()),
-            rng: Xoshiro256::seed_from_u64(seed),
-            buffer: Vec::new(),
-            cursor: 0,
-            last_scene: None,
-            burst_left: 0,
+            state: StreamState::new(self, seed),
         }
     }
 
@@ -277,6 +272,24 @@ fn inst_gap(pc: u64) -> u32 {
 #[derive(Debug, Clone)]
 pub struct ProgramStream<'p> {
     program: &'p Program,
+    state: StreamState,
+}
+
+/// Detached iteration state of a program record stream.
+///
+/// [`ProgramStream`] borrows its [`Program`]; code that must *own* a
+/// self-contained stream (the synthetic
+/// [`SynthSource`](crate::source::SynthSource), for instance) instead
+/// holds a `Program` and a `StreamState` side by side and calls
+/// [`StreamState::next_record`]. Both drivers share this one
+/// implementation, so a given `(program, seed)` pair yields the same
+/// record sequence through either.
+///
+/// Every `next_record` call must pass the same program the state was
+/// created for; mixing programs produces nonsense (and may panic on
+/// out-of-range branch ids).
+#[derive(Debug, Clone)]
+pub struct StreamState {
     state: EvalState,
     rng: Xoshiro256,
     buffer: Vec<BranchRecord>,
@@ -293,9 +306,32 @@ const SCENE_REPEAT_NUM: u64 = 232;
 /// Maximum consecutive plays of one scene.
 const SCENE_BURST_MAX: u32 = 16;
 
-impl ProgramStream<'_> {
-    fn emit_cond(&mut self, id: BranchId, out: &mut Vec<BranchRecord>) {
-        let branch = &self.program.branches[id.index()];
+impl StreamState {
+    /// Creates fresh iteration state for `program`, seeded like
+    /// [`Program::stream`].
+    pub fn new(program: &Program, seed: u64) -> Self {
+        Self {
+            state: EvalState::new(program.branches.len()),
+            rng: Xoshiro256::seed_from_u64(seed),
+            buffer: Vec::new(),
+            cursor: 0,
+            last_scene: None,
+            burst_left: 0,
+        }
+    }
+
+    /// Produces the next record of the (infinite) stream.
+    pub fn next_record(&mut self, program: &Program) -> BranchRecord {
+        while self.cursor >= self.buffer.len() {
+            self.refill(program);
+        }
+        let record = self.buffer[self.cursor];
+        self.cursor += 1;
+        record
+    }
+
+    fn emit_cond(&mut self, program: &Program, id: BranchId, out: &mut Vec<BranchRecord>) {
+        let branch = &program.branches[id.index()];
         let taken = branch.behavior.evaluate(id, &mut self.state, &mut self.rng);
         self.state.commit(id, taken);
         out.push(BranchRecord::cond(
@@ -306,10 +342,10 @@ impl ProgramStream<'_> {
         ));
     }
 
-    fn play_steps(&mut self, steps: &[Step], out: &mut Vec<BranchRecord>) {
+    fn play_steps(&mut self, program: &Program, steps: &[Step], out: &mut Vec<BranchRecord>) {
         for step in steps {
             match step {
-                Step::Cond(id) => self.emit_cond(*id, out),
+                Step::Cond(id) => self.emit_cond(program, *id, out),
                 Step::Loop {
                     header,
                     body,
@@ -317,7 +353,7 @@ impl ProgramStream<'_> {
                 } => {
                     let mut iters = 0u32;
                     loop {
-                        let branch = &self.program.branches[header.index()];
+                        let branch = &program.branches[header.index()];
                         let taken =
                             branch
                                 .behavior
@@ -333,7 +369,7 @@ impl ProgramStream<'_> {
                         if !taken || iters >= *max_iters {
                             break;
                         }
-                        self.play_steps(body, out);
+                        self.play_steps(program, body, out);
                     }
                 }
                 Step::Call { pc, target } => out.push(BranchRecord::uncond(
@@ -358,7 +394,7 @@ impl ProgramStream<'_> {
         }
     }
 
-    fn refill(&mut self) {
+    fn refill(&mut self, program: &Program) {
         self.buffer.clear();
         self.cursor = 0;
         // Phase behaviour: repeat the previous scene with high
@@ -369,9 +405,8 @@ impl ProgramStream<'_> {
                 prev
             }
             _ => {
-                let mut pick = self.rng.below(self.program.total_weight);
-                let chosen = self
-                    .program
+                let mut pick = self.rng.below(program.total_weight);
+                let chosen = program
                     .scenes
                     .iter()
                     .position(|s| {
@@ -388,9 +423,9 @@ impl ProgramStream<'_> {
             }
         };
         self.last_scene = Some(scene_index);
-        let steps = self.program.scenes[scene_index].steps.clone();
+        let steps = program.scenes[scene_index].steps.clone();
         let mut out = std::mem::take(&mut self.buffer);
-        self.play_steps(&steps, &mut out);
+        self.play_steps(program, &steps, &mut out);
         self.buffer = out;
     }
 }
@@ -399,12 +434,7 @@ impl Iterator for ProgramStream<'_> {
     type Item = BranchRecord;
 
     fn next(&mut self) -> Option<Self::Item> {
-        while self.cursor >= self.buffer.len() {
-            self.refill();
-        }
-        let record = self.buffer[self.cursor];
-        self.cursor += 1;
-        Some(record)
+        Some(self.state.next_record(self.program))
     }
 }
 
@@ -431,6 +461,15 @@ mod tests {
             1,
         )];
         Program::new(branches, scenes).unwrap()
+    }
+
+    #[test]
+    fn detached_state_matches_borrowed_stream() {
+        let p = simple_program();
+        let mut state = StreamState::new(&p, 42);
+        let borrowed: Vec<BranchRecord> = p.stream(42).take(300).collect();
+        let detached: Vec<BranchRecord> = (0..300).map(|_| state.next_record(&p)).collect();
+        assert_eq!(borrowed, detached);
     }
 
     #[test]

@@ -23,8 +23,16 @@
 
 use crate::record::Trace;
 use crate::rng::SplitMix64;
+use crate::source::SynthSource;
 use crate::synth::builder::{Filler, ProgramBuilder};
 use crate::synth::program::Program;
+
+/// Version of the synthetic trace generator. Any change to record
+/// emission — behaviour evaluation, scene selection, seeding,
+/// instruction gaps — must bump this, because it is folded into
+/// [`TraceSpec::fingerprint`] and therefore invalidates every on-disk
+/// trace-cache entry.
+pub const GENERATOR_VERSION: u32 = 1;
 
 /// Workload category, mirroring CBP-4's grouping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -218,6 +226,55 @@ impl TraceSpec {
     pub fn generate_len(&self, n_records: usize) -> Trace {
         self.build_program()
             .emit(self.name.clone(), n_records, self.seed ^ 0x5EED)
+    }
+
+    /// Creates a streaming source yielding the trace at its default
+    /// length without materializing it.
+    pub fn stream(&self) -> SynthSource {
+        self.stream_len(self.default_len())
+    }
+
+    /// Creates a streaming source yielding exactly `n_records` records —
+    /// the same sequence [`TraceSpec::generate_len`] materializes.
+    pub fn stream_len(&self, n_records: usize) -> SynthSource {
+        SynthSource::new(
+            self.name.clone(),
+            self.build_program(),
+            self.seed ^ 0x5EED,
+            n_records,
+        )
+    }
+
+    /// Content fingerprint of the generated trace: an FNV-1a hash over
+    /// every input that determines the record sequence — generator
+    /// version, name, length class, seed, the full knob set, and the
+    /// requested record count. Two specs share a fingerprint iff they
+    /// generate byte-identical traces, which makes the fingerprint a
+    /// sound content address for the on-disk trace cache
+    /// ([`crate::cache::TraceCache`]).
+    pub fn fingerprint(&self, n_records: usize) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        {
+            // Length-prefixed FNV-1a, same framing as the sweep
+            // journal's matrix id: framing prevents adjacent fields
+            // from aliasing under concatenation.
+            let mut eat = |bytes: &[u8]| {
+                for &b in (bytes.len() as u64).to_le_bytes().iter().chain(bytes) {
+                    hash ^= u64::from(b);
+                    hash = hash.wrapping_mul(0x100_0000_01B3);
+                }
+            };
+            eat(&GENERATOR_VERSION.to_le_bytes());
+            eat(self.name.as_bytes());
+            eat(&[u8::from(self.long)]);
+            eat(&self.seed.to_le_bytes());
+            // Knobs carry f64 fields; Debug formatting renders them
+            // round-trip exactly, so distinct knob sets cannot collide
+            // through lossy formatting.
+            eat(format!("{:?}", self.knobs).as_bytes());
+            eat(&(n_records as u64).to_le_bytes());
+        }
+        hash
     }
 }
 
@@ -539,6 +596,20 @@ mod tests {
         assert_eq!(spec.generate_len(1234).len(), 1234);
         assert_eq!(spec.default_len(), SHORT_TRACE_LEN);
         assert_eq!(find("SPEC00").unwrap().default_len(), LONG_TRACE_LEN);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let a = find("SPEC00").unwrap();
+        let b = find("SPEC01").unwrap();
+        assert_eq!(a.fingerprint(1000), a.fingerprint(1000));
+        assert_ne!(a.fingerprint(1000), b.fingerprint(1000));
+        assert_ne!(a.fingerprint(1000), a.fingerprint(2000));
+        // The whole suite at one length: 40 distinct fingerprints.
+        let mut prints: Vec<u64> = suite().iter().map(|s| s.fingerprint(5000)).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), 40);
     }
 
     #[test]

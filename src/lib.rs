@@ -37,6 +37,11 @@ pub use bfbp_sim as sim;
 pub use bfbp_tage as tage;
 pub use bfbp_trace as trace;
 
+pub use bfbp_sim::{Simulation, SimulationError, StreamedTrace, TraceInput};
+pub use bfbp_trace::{
+    CacheStatus, FileSource, ReplaySource, SynthSource, TraceCache, TraceChunk, TraceSource,
+};
+
 use bfbp_sim::registry::PredictorRegistry;
 
 /// The registry of every predictor in the workspace: the trivial static

@@ -51,8 +51,8 @@ fn parallel_sweep_is_byte_identical_to_serial() {
 
 #[test]
 fn engine_matches_the_single_threaded_runner() {
-    // The engine and the deprecated factory-closure path must agree on
-    // every per-trace result.
+    // The engine and the serial run_spec path must agree on every
+    // per-trace result.
     let registry = bfbp::default_registry();
     let runner = small_runner();
     let spec = PredictorSpec::new("gshare");
@@ -66,12 +66,9 @@ fn engine_matches_the_single_threaded_runner() {
     .expect("sweep");
     let engine_results = report.try_results("gshare").expect("gshare series exists");
 
-    #[allow(deprecated)]
-    let runner_results = runner.run(|_| {
-        registry
-            .build("gshare", &Params::new())
-            .expect("gshare builds")
-    });
+    let runner_results = runner
+        .run_spec(&registry, &spec)
+        .expect("gshare builds through the registry");
 
     assert_eq!(engine_results.len(), runner_results.len());
     for (a, b) in engine_results.iter().zip(&runner_results) {
