@@ -1,0 +1,229 @@
+//! Batched-kernel perf-regression harness: records/sec for every
+//! registered predictor in batched and per-record mode, plus the
+//! headline streamed/replay rates for `bf-tage` over the cached SERV
+//! trace — directly comparable to the BENCH_4 streaming-pipeline
+//! baseline, which predates the batch kernels.
+//!
+//! Two guards in one binary: the numbers land in `BENCH_5.json` (in
+//! `BFBP_RESULTS_DIR`, else the workspace root) for the verify skill's
+//! tolerance check, and every matrix predictor's batched run is
+//! asserted to produce *identical* misprediction counts to the
+//! per-record reference loop — a throughput win that changes a count
+//! fails the bench, not just the test suite.
+//!
+//! ```sh
+//! cargo bench --features bench-harness --bench throughput
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bfbp_sim::registry::{PredictorRegistry, PredictorSpec};
+use bfbp_sim::simulate::{simulate_stream, SimResult, Simulation};
+use bfbp_trace::cache::TraceCache;
+use bfbp_trace::record::Trace;
+use bfbp_trace::source::FileSource;
+use bfbp_trace::synth::suite;
+
+/// Timed repetitions per path; the best (highest-throughput) rep is
+/// reported, which is the conventional way to suppress scheduler noise
+/// in a smoke-sized benchmark.
+const REPS: usize = 3;
+
+/// Record count for the all-predictor matrix: long enough to amortize
+/// warm-up, short enough that the slowest predictor keeps the whole
+/// matrix in seconds.
+const MATRIX_RECORDS: usize = 20_000;
+
+fn main() {
+    let registry = bfbp::default_registry();
+    let spec = suite::find("SERV1").expect("SERV1 in suite");
+    let n_records = spec.default_len();
+    let cache = TraceCache::from_env();
+    let (trace, _) = cache.fetch(&spec, n_records);
+
+    // Headline: bf-tage on the same trace/length/paths BENCH_4 recorded,
+    // now driven through the batch kernels.
+    let build = |registry: &PredictorRegistry| {
+        registry
+            .build_spec(&PredictorSpec::new("bf-tage"))
+            .expect("bf-tage is registered")
+    };
+    let mut p = build(&registry);
+    Simulation::new(p.as_mut())
+        .run_trace(&trace)
+        .expect("never cancelled");
+
+    let mut replay_best = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build(&registry);
+        let t = Instant::now();
+        let (result, _) = Simulation::new(p.as_mut())
+            .run_trace(&trace)
+            .expect("never cancelled");
+        let rate = trace.len() as f64 / t.elapsed().as_secs_f64();
+        assert!(result.conditional_branches() > 0);
+        replay_best = replay_best.max(rate);
+    }
+
+    let entry = cache
+        .entry_path(&spec, n_records)
+        .filter(|p| p.exists())
+        .expect("cache entry exists after fetch (is BFBP_TRACE_CACHE=0 set?)");
+    let mut streamed_best = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build(&registry);
+        let mut source = FileSource::open(&entry).expect("cache entry opens");
+        let t = Instant::now();
+        let (result, _) = Simulation::new(p.as_mut())
+            .run(&mut source)
+            .expect("never cancelled");
+        let rate = trace.len() as f64 / t.elapsed().as_secs_f64();
+        assert!(result.instructions() > 0);
+        streamed_best = streamed_best.max(rate);
+    }
+
+    // Matrix: every registered predictor, batched chunk loop vs the
+    // per-record reference loop, on one shared short trace.
+    let matrix_trace = spec.generate_len(MATRIX_RECORDS);
+    let mut matrix = Vec::new();
+    for name in registry.names() {
+        let row = matrix_row(&registry, name, &matrix_trace);
+        eprintln!(
+            "{name:<18} batched {:>10.0} rec/s   per-record {:>10.0} rec/s   x{:.2}",
+            row.batched_rate,
+            row.per_record_rate,
+            row.batched_rate / row.per_record_rate
+        );
+        matrix.push(row);
+    }
+
+    let peak_rss_kb = peak_rss_kb().unwrap_or(0);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"bfbp-bench/1\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_5\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"batched predictor kernels: bf-tage over cached {} plus an all-predictor batched vs per-record matrix\",",
+        spec.name()
+    );
+    let _ = writeln!(json, "  \"trace\": \"{}\",", spec.name());
+    let _ = writeln!(json, "  \"records\": {n_records},");
+    let _ = writeln!(json, "  \"predictor\": \"bf-tage\",");
+    let _ = writeln!(json, "  \"replay_records_per_sec\": {replay_best:.0},");
+    let _ = writeln!(json, "  \"streamed_records_per_sec\": {streamed_best:.0},");
+    let _ = writeln!(json, "  \"matrix_records\": {MATRIX_RECORDS},");
+    let _ = writeln!(json, "  \"matrix\": [");
+    for (i, row) in matrix.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"predictor\": \"{}\", \"batched_records_per_sec\": {:.0}, \"per_record_records_per_sec\": {:.0}}}{}",
+            row.name,
+            row.batched_rate,
+            row.per_record_rate,
+            if i + 1 < matrix.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"peak_rss_kb\": {peak_rss_kb}");
+    json.push_str("}\n");
+
+    let path = output_dir().join("BENCH_5.json");
+    std::fs::write(&path, &json).expect("write BENCH_5.json");
+    print!("{json}");
+    eprintln!("wrote {}", path.display());
+}
+
+struct MatrixRow {
+    name: String,
+    batched_rate: f64,
+    per_record_rate: f64,
+}
+
+/// Times one predictor in both modes on `trace`, asserting the batched
+/// chunk loop reproduces the per-record loop's counts exactly.
+fn matrix_row(registry: &PredictorRegistry, name: &str, trace: &Trace) -> MatrixRow {
+    let spec = PredictorSpec::new(name);
+    let build = || registry.build_spec(&spec).expect("registered spec builds");
+
+    // Warm-up (allocation paths, host-cache effects), one per mode.
+    let mut p = build();
+    let (reference, _) = Simulation::new(p.as_mut())
+        .run_trace(trace)
+        .expect("never cancelled");
+    let mut p = build();
+    per_record(p.as_mut(), trace);
+
+    let mut batched_rate = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build();
+        let t = Instant::now();
+        let (result, _) = Simulation::new(p.as_mut())
+            .run_trace(trace)
+            .expect("never cancelled");
+        batched_rate = batched_rate.max(trace.len() as f64 / t.elapsed().as_secs_f64());
+        assert_eq!(
+            result.mispredictions(),
+            reference.mispredictions(),
+            "{name}: batched reps disagree"
+        );
+    }
+    let mut per_record_rate = 0.0f64;
+    for _ in 0..REPS {
+        let mut p = build();
+        let t = Instant::now();
+        let result = per_record(p.as_mut(), trace);
+        per_record_rate = per_record_rate.max(trace.len() as f64 / t.elapsed().as_secs_f64());
+        assert_eq!(
+            result.mispredictions(),
+            reference.mispredictions(),
+            "{name}: batched and per-record modes disagree"
+        );
+        assert_eq!(
+            result.conditional_branches(),
+            reference.conditional_branches()
+        );
+    }
+    MatrixRow {
+        name: name.to_owned(),
+        batched_rate,
+        per_record_rate,
+    }
+}
+
+/// The un-batched reference: one predict/update (or track_other) pair
+/// per record, no chunking — the hot loop as it was before the batch
+/// kernels landed.
+fn per_record(p: &mut dyn bfbp_sim::predictor::ConditionalPredictor, trace: &Trace) -> SimResult {
+    simulate_stream(p, trace.name(), trace.records().iter().copied())
+}
+
+/// `BFBP_RESULTS_DIR` when set, else the workspace root (the parent of
+/// the cargo `target` directory the bench executable runs from).
+fn output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BFBP_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for ancestor in exe.ancestors() {
+            if ancestor.file_name().is_some_and(|n| n == "target") {
+                if let Some(root) = ancestor.parent() {
+                    return root.to_path_buf();
+                }
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`);
+/// `None` on non-Linux or unreadable procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

@@ -1,0 +1,152 @@
+//! Manual hot-path cost breakdown for bf-tage over SERV1: times the
+//! decode, history, and table layers separately so a throughput
+//! regression can be attributed without a system profiler.
+//!
+//! ```sh
+//! cargo run --release -p bfbp-bench --example hotpath_profile
+//! ```
+
+use std::time::Instant;
+
+use bfbp_core::bf_ghr::BfGhr;
+use bfbp_predictors::history::{mix64, PathHistory};
+use bfbp_sim::registry::PredictorSpec;
+use bfbp_sim::simulate::Simulation;
+use bfbp_tage::config::TageConfig;
+use bfbp_tage::tage::TageCore;
+use bfbp_trace::cache::TraceCache;
+use bfbp_trace::source::{FileSource, TraceChunk, TraceSource};
+use bfbp_trace::synth::suite;
+
+fn main() {
+    let spec = suite::find("SERV1").expect("SERV1 in suite");
+    let n = spec.default_len();
+    let cache = TraceCache::from_env();
+    let (trace, _) = cache.fetch(&spec, n);
+    let entry = cache.entry_path(&spec, n).expect("cache on");
+
+    // 1. Decode only.
+    let t = Instant::now();
+    let mut source = FileSource::open(&entry).expect("open");
+    let mut chunk = TraceChunk::new();
+    let mut total = 0usize;
+    while source.fill_chunk(&mut chunk, 4096).expect("decode") > 0 {
+        total += chunk.len();
+    }
+    let decode = t.elapsed();
+    eprintln!(
+        "decode only           {:>10.0} rec/s ({total} records)",
+        total as f64 / decode.as_secs_f64()
+    );
+
+    // 2. Full bf-tage replay.
+    let registry = bfbp::default_registry();
+    let mut p = registry
+        .build_spec(&PredictorSpec::new("bf-tage"))
+        .expect("bf-tage");
+    Simulation::new(p.as_mut()).run_trace(&trace).expect("warm");
+    let mut p = registry
+        .build_spec(&PredictorSpec::new("bf-tage"))
+        .expect("bf-tage");
+    let t = Instant::now();
+    Simulation::new(p.as_mut()).run_trace(&trace).expect("run");
+    let full = t.elapsed();
+    eprintln!(
+        "bf-tage replay        {:>10.0} rec/s",
+        trace.len() as f64 / full.as_secs_f64()
+    );
+
+    // 3. BF-GHR commit + fold alone, fed realistic keys/outcomes.
+    let conds: Vec<(u16, bool)> = trace
+        .records()
+        .iter()
+        .filter(|r| r.kind.is_conditional())
+        .map(|r| ((mix64(r.pc >> 2) & 0x3FFF) as u16, r.taken))
+        .collect();
+    let mut ghr = BfGhr::new();
+    let mut sink = 0u64;
+    let lengths = [3usize, 8, 14, 26, 40, 54, 70, 94, 118, 142];
+    let mut folded = Vec::new();
+    let t = Instant::now();
+    for &(key, taken) in &conds {
+        ghr.commit(key, taken, key & 3 == 0);
+        ghr.fold_mixed(&lengths, &mut folded);
+        sink ^= folded[9];
+    }
+    let ghr_time = t.elapsed();
+    eprintln!(
+        "ghr commit+fold       {:>10.0} cond/s (sink {sink:x})",
+        conds.len() as f64 / ghr_time.as_secs_f64()
+    );
+
+    // 3b. Commit alone, and fold alone against a static history.
+    let mut ghr2 = BfGhr::new();
+    let t = Instant::now();
+    for &(key, taken) in &conds {
+        ghr2.commit(key, taken, key & 3 == 0);
+    }
+    let commit_time = t.elapsed();
+    eprintln!(
+        "ghr commit only       {:>10.0} cond/s ({:.1}ns)",
+        conds.len() as f64 / commit_time.as_secs_f64(),
+        commit_time.as_secs_f64() * 1e9 / conds.len() as f64
+    );
+    let t = Instant::now();
+    for _ in 0..conds.len() {
+        ghr2.fold_mixed(&lengths, &mut folded);
+        sink ^= folded[9];
+    }
+    let fold_time = t.elapsed();
+    eprintln!(
+        "ghr fold only         {:>10.0} cond/s ({:.1}ns, sink {sink:x})",
+        conds.len() as f64 / fold_time.as_secs_f64(),
+        fold_time.as_secs_f64() * 1e9 / conds.len() as f64
+    );
+
+    // 4. TageCore predict/update alone with synthetic indices.
+    let config = TageConfig::bias_free(10).expect("10 tables");
+    let mut core = TageCore::new(&config);
+    let masks: Vec<usize> = config
+        .tables
+        .iter()
+        .map(|t| (1 << t.log_size) - 1)
+        .collect();
+    let mut idx = vec![0usize; 10];
+    let mut tags = vec![0u16; 10];
+    let t = Instant::now();
+    for (i, &(key, taken)) in conds.iter().enumerate() {
+        let base = mix64(u64::from(key) ^ (i as u64) << 17);
+        for j in 0..10 {
+            idx[j] = (base.rotate_left(j as u32 * 6) as usize) & masks[j];
+            tags[j] = (base >> (j + 3)) as u16 & 0x3FF;
+        }
+        let g = core.predict(u64::from(key) << 2, &idx, &tags);
+        sink ^= u64::from(g);
+        core.update(u64::from(key) << 2, taken);
+    }
+    let core_time = t.elapsed();
+    eprintln!(
+        "tage core p+u         {:>10.0} cond/s (incl. index synth; sink {sink:x})",
+        conds.len() as f64 / core_time.as_secs_f64()
+    );
+
+    // 5. Path history push for every record.
+    let mut path = PathHistory::new(16);
+    let t = Instant::now();
+    for r in trace.records() {
+        path.push(r.pc);
+    }
+    sink ^= path.value();
+    eprintln!(
+        "path push             {:>10.0} rec/s (sink {sink:x})",
+        trace.len() as f64 / t.elapsed().as_secs_f64()
+    );
+
+    eprintln!(
+        "\nper-record budget: full {:.1}ns | decode {:.1}ns | ghr {:.1}ns/cond | core {:.1}ns/cond",
+        full.as_secs_f64() * 1e9 / trace.len() as f64,
+        decode.as_secs_f64() * 1e9 / total as f64,
+        ghr_time.as_secs_f64() * 1e9 / conds.len() as f64,
+        core_time.as_secs_f64() * 1e9 / conds.len() as f64,
+    );
+}

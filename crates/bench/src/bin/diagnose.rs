@@ -4,7 +4,7 @@
 //! sweep engine exports, so the human view and `--json` never diverge.
 //!
 //! ```sh
-//! diagnose [--json] [--top N] [TRACE [SPEC]]
+//! diagnose [--json] [--top N] [--trace-cache|--no-trace-cache] [TRACE [SPEC]]
 //! ```
 //!
 //! Defaults: trace `SPEC03`, spec `isl-tage:tables=10`, top 20.
@@ -29,6 +29,7 @@ fn main() -> ExitCode {
                 Some(n) => top = n,
                 None => return usage("--top needs a count"),
             },
+            other if bfbp_bench::cli::trace_cache_flag(other) => {}
             other if other.starts_with("--") => return usage(&format!("unknown flag {other:?}")),
             other => positional.push(other.to_owned()),
         }
@@ -99,6 +100,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: diagnose [--json] [--top N] [TRACE [SPEC]]");
+    eprintln!("usage: diagnose [--json] [--top N] [--trace-cache|--no-trace-cache] [TRACE [SPEC]]");
     ExitCode::FAILURE
 }

@@ -16,28 +16,19 @@
 //! cache is enabled at `target/trace-cache/`, so a second full run
 //! performs zero synthetic generation.
 fn main() {
+    let mut common = bfbp_bench::cli::CommonArgs::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--retries" => match args.next() {
-                Some(n) if n.parse::<u32>().is_ok() => std::env::set_var("BFBP_SWEEP_RETRIES", n),
-                _ => die("--retries needs a count"),
-            },
-            "--timeout" => match args.next() {
-                Some(ms) if ms.parse::<u64>().is_ok() => {
-                    std::env::set_var("BFBP_SWEEP_TIMEOUT_MS", ms)
-                }
-                _ => die("--timeout needs milliseconds"),
-            },
-            "--metrics" => std::env::set_var("BFBP_SWEEP_METRICS", "1"),
-            "--events" => match args.next() {
-                Some(path) if !path.is_empty() => std::env::set_var("BFBP_SWEEP_EVENTS", path),
-                _ => die("--events needs a path"),
-            },
-            "--trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "1"),
-            "--no-trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "0"),
-            other => die(&format!("unknown argument {other:?}")),
+        match common.try_consume(&arg, &mut args) {
+            Ok(true) => {}
+            Ok(false) => die(&format!("unknown argument {arg:?}")),
+            Err(e) => die(&e),
         }
+    }
+    // This driver configures the per-experiment sweeps through the
+    // environment; flags without an env equivalent are rejected here.
+    if let Err(e) = common.export_env() {
+        die(&e);
     }
     let scale = bfbp_bench::scale(1.0);
     bfbp_bench::experiments::fig02_bias(scale);
@@ -56,8 +47,8 @@ fn main() {
 fn die(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: run_all [--retries N] [--timeout MS] [--metrics] [--events PATH] \
-         [--trace-cache|--no-trace-cache]"
+        "usage: run_all [--retries N] [--backoff MS] [--timeout MS] [--metrics] \
+         [--events PATH] [--trace-cache|--no-trace-cache]"
     );
     std::process::exit(2);
 }

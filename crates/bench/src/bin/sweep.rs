@@ -42,26 +42,29 @@
 
 use std::process::ExitCode;
 
+use bfbp_bench::cli::CommonArgs;
 use bfbp_bench::{banner, print_mpki_table, scale};
 use bfbp_sim::engine::{sweep, sweep_inputs, SweepOptions, TraceInput};
 use bfbp_sim::fault::FaultPlan;
 use bfbp_sim::registry::PredictorSpec;
 use bfbp_sim::runner::SuiteRunner;
-use bfbp_sim::RetryPolicy;
-use std::time::Duration;
 
 fn main() -> ExitCode {
     let registry = bfbp::default_registry();
-    let mut options = SweepOptions::from_env();
+    let mut common = CommonArgs::default();
     let mut run = "sweep".to_owned();
     let mut specs: Vec<PredictorSpec> = Vec::new();
     let mut trace_files: Vec<String> = Vec::new();
-    let mut metrics_out: Option<std::path::PathBuf> = None;
-    let mut retries: u32 = options.retry.max_attempts.saturating_sub(1);
-    let mut backoff = options.retry.backoff;
+    let mut interval: Option<u64> = None;
+    let mut fault_plan: Option<FaultPlan> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match common.try_consume(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
         match arg.as_str() {
             "--list" => {
                 for name in registry.names() {
@@ -70,52 +73,16 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
-            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.threads = n,
-                None => return usage("--threads needs a number"),
-            },
             "--interval" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => options.interval_insts = n,
+                Some(n) => interval = Some(n),
                 None => return usage("--interval needs an instruction count"),
             },
             "--run" => match args.next() {
                 Some(name) => run = name,
                 None => return usage("--run needs a name"),
             },
-            "--retries" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => retries = n,
-                None => return usage("--retries needs a count"),
-            },
-            "--backoff" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(ms) => backoff = Duration::from_millis(ms),
-                None => return usage("--backoff needs milliseconds"),
-            },
-            "--timeout" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(ms) => options.timeout = Some(Duration::from_millis(ms)),
-                None => return usage("--timeout needs milliseconds"),
-            },
-            "--journal" => match args.next() {
-                Some(path) => options.journal = Some(path.into()),
-                None => return usage("--journal needs a path"),
-            },
-            "--resume" => match args.next() {
-                Some(path) => options = options.resuming(path),
-                None => return usage("--resume needs a journal path"),
-            },
-            "--metrics-out" => match args.next() {
-                Some(path) => {
-                    options.metrics = true;
-                    metrics_out = Some(path.into());
-                }
-                None => return usage("--metrics-out needs a path"),
-            },
-            "--events-out" => match args.next() {
-                Some(path) => options.events = Some(path.into()),
-                None => return usage("--events-out needs a path"),
-            },
-            "--progress" => options.progress = true,
             "--fault-plan" => match args.next().map(|v| FaultPlan::parse(&v)) {
-                Some(Ok(plan)) => options.fault_plan = Some(plan),
+                Some(Ok(plan)) => fault_plan = Some(plan),
                 Some(Err(e)) => return usage(&e.to_string()),
                 None => return usage("--fault-plan needs a plan string"),
             },
@@ -123,8 +90,6 @@ fn main() -> ExitCode {
                 Some(path) => trace_files.push(path),
                 None => return usage("--trace-file needs a path"),
             },
-            "--trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "1"),
-            "--no-trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "0"),
             text => match PredictorSpec::parse(text) {
                 Ok(s) => specs.push(s),
                 Err(e) => return usage(&format!("bad spec {text:?}: {e}")),
@@ -134,10 +99,14 @@ fn main() -> ExitCode {
     if specs.is_empty() {
         return usage("no predictor specs given");
     }
-    options.retry = RetryPolicy {
-        max_attempts: retries.saturating_add(1),
-        backoff,
-    };
+    // Environment knobs first, explicit flags on top.
+    let mut options = SweepOptions::from_env();
+    common.apply_to(&mut options);
+    if let Some(insts) = interval {
+        options.interval_insts = insts;
+    }
+    options.fault_plan = fault_plan;
+    let metrics_out = common.metrics_out.clone();
 
     let result = if trace_files.is_empty() {
         let scale = scale(1.0);
@@ -248,16 +217,14 @@ fn main() -> ExitCode {
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: sweep [--threads N] [--run NAME] [--interval INSTS]\n\
-                      [--retries N] [--backoff MS] [--timeout MS]\n\
-                      [--journal PATH] [--resume PATH]\n\
-                      [--metrics-out PATH] [--events-out PATH] [--progress]\n\
+        "usage: sweep [common flags] [--run NAME] [--interval INSTS]\n\
                       [--trace-file PATH]... [--fault-plan PLAN]\n\
-                      [--trace-cache|--no-trace-cache]\n\
                       <spec> [<spec>...]\n\
                 sweep --list\n\
          spec: [label=]name[:key=value,...]\n\
-         plan: e.g. panic@1,panic@4=1,delay@2=50,io@3=checksum,skip@5,random@42=0.1"
+         plan: e.g. panic@1,panic@4=1,delay@2=50,io@3=checksum,skip@5,random@42=0.1\n\
+         {}",
+        bfbp_bench::cli::COMMON_USAGE
     );
     ExitCode::FAILURE
 }

@@ -1,0 +1,322 @@
+//! Shared command-line parsing for the experiment binaries.
+//!
+//! `sweep`, `run_all`, and `diagnose` accept an overlapping set of
+//! engine-tuning flags (threads, retries, timeouts, journals,
+//! observability outputs, trace-cache control). [`CommonArgs`] parses
+//! them once so the binaries cannot drift apart: each binary calls
+//! [`CommonArgs::try_consume`] first in its flag loop and handles only
+//! its own flags when that returns `Ok(false)`. The collected values are
+//! then either applied to an in-process [`SweepOptions`]
+//! ([`CommonArgs::apply_to`], the `sweep` workflow) or exported as the
+//! `BFBP_SWEEP_*` environment variables the per-experiment sweeps read
+//! ([`CommonArgs::export_env`], the `run_all` workflow).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bfbp_sim::engine::SweepOptions;
+
+/// Usage text for the flags [`CommonArgs::try_consume`] understands,
+/// for embedding in a binary's `usage:` message.
+pub const COMMON_USAGE: &str = "\
+common flags:
+  --threads N          worker threads (0 = all cores)
+  --retries N          re-attempts per failed job
+  --backoff MS         delay between retry attempts
+  --timeout MS         per-job wall-clock budget
+  --journal PATH       checkpoint completed jobs to a journal
+  --resume PATH        restore from a journal, re-running only missing
+                       or failed jobs (keeps appending to it unless
+                       --journal names another file)
+  --metrics            collect per-job introspection metrics and H2P
+  --metrics-out PATH   ... and write the bfbp-metrics/1 document here
+  --events PATH        append the bfbp-events/1 span/event journal
+  --progress           draw a live job-completion line on stderr
+  --trace-cache | --no-trace-cache
+                       force the content-addressed trace cache on/off";
+
+/// Handles `--trace-cache` / `--no-trace-cache` by exporting the
+/// machine-wide `BFBP_TRACE_CACHE` knob every trace consumer reads;
+/// returns whether `arg` was one of the two.
+pub fn trace_cache_flag(arg: &str) -> bool {
+    match arg {
+        "--trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "1"),
+        "--no-trace-cache" => std::env::set_var("BFBP_TRACE_CACHE", "0"),
+        _ => return false,
+    }
+    true
+}
+
+/// The engine-tuning flags shared by the experiment binaries. Every
+/// field is optional so a binary can distinguish "flag given" from
+/// "leave the [`SweepOptions::from_env`] / built-in default alone".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// `--threads N`.
+    pub threads: Option<usize>,
+    /// `--retries N` (re-attempts after the first try).
+    pub retries: Option<u32>,
+    /// `--backoff MS`.
+    pub backoff_ms: Option<u64>,
+    /// `--timeout MS`.
+    pub timeout_ms: Option<u64>,
+    /// `--journal PATH`.
+    pub journal: Option<PathBuf>,
+    /// `--resume PATH`.
+    pub resume: Option<PathBuf>,
+    /// `--metrics` or `--metrics-out`.
+    pub metrics: bool,
+    /// `--metrics-out PATH` (where the binary writes the collected
+    /// `bfbp-metrics/1` document; implies [`CommonArgs::metrics`]).
+    pub metrics_out: Option<PathBuf>,
+    /// `--events PATH` (also accepted as `--events-out`).
+    pub events: Option<PathBuf>,
+    /// `--progress`.
+    pub progress: bool,
+}
+
+impl CommonArgs {
+    /// Consumes `arg` (and its value from `args`) when it is a common
+    /// flag. Returns `Ok(true)` when consumed, `Ok(false)` when the
+    /// binary should handle the argument itself, and `Err` with a
+    /// user-facing message when a common flag's value is missing or
+    /// malformed.
+    pub fn try_consume(
+        &mut self,
+        arg: &str,
+        args: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        fn value(
+            args: &mut dyn Iterator<Item = String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<String, String> {
+            args.next()
+                .filter(|v| !v.is_empty())
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        }
+        fn number<T: std::str::FromStr>(
+            args: &mut dyn Iterator<Item = String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<T, String> {
+            value(args, flag, what)?
+                .parse()
+                .map_err(|_| format!("{flag} needs {what}"))
+        }
+
+        match arg {
+            "--threads" => self.threads = Some(number(args, arg, "a thread count")?),
+            "--retries" => self.retries = Some(number(args, arg, "a count")?),
+            "--backoff" => self.backoff_ms = Some(number(args, arg, "milliseconds")?),
+            "--timeout" => self.timeout_ms = Some(number(args, arg, "milliseconds")?),
+            "--journal" => self.journal = Some(value(args, arg, "a path")?.into()),
+            "--resume" => self.resume = Some(value(args, arg, "a journal path")?.into()),
+            "--metrics" => self.metrics = true,
+            "--metrics-out" => {
+                self.metrics = true;
+                self.metrics_out = Some(value(args, arg, "a path")?.into());
+            }
+            "--events" | "--events-out" => self.events = Some(value(args, arg, "a path")?.into()),
+            "--progress" => self.progress = true,
+            other => return Ok(trace_cache_flag(other)),
+        }
+        Ok(true)
+    }
+
+    /// Overlays every given flag on `options` (fields left `None` keep
+    /// whatever `options` already holds, e.g. from
+    /// [`SweepOptions::from_env`]). `--resume` also checkpoints to the
+    /// resumed journal unless `--journal` names another file.
+    pub fn apply_to(&self, options: &mut SweepOptions) {
+        if let Some(n) = self.threads {
+            options.threads = n;
+        }
+        if let Some(retries) = self.retries {
+            options.retry.max_attempts = retries.saturating_add(1);
+        }
+        if let Some(ms) = self.backoff_ms {
+            options.retry.backoff = Duration::from_millis(ms);
+        }
+        if let Some(ms) = self.timeout_ms {
+            options.timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(path) = &self.resume {
+            options.resume_from = Some(path.clone());
+            options.journal = Some(path.clone());
+        }
+        if let Some(path) = &self.journal {
+            options.journal = Some(path.clone());
+        }
+        if self.metrics {
+            options.metrics = true;
+        }
+        if let Some(path) = &self.events {
+            options.events = Some(path.clone());
+        }
+        if self.progress {
+            options.progress = true;
+        }
+    }
+
+    /// Exports the given flags as the `BFBP_SWEEP_*` environment
+    /// variables that configure every sweep a child experiment runs
+    /// (`run_all` hardens its whole campaign this way).
+    ///
+    /// # Errors
+    ///
+    /// Flags with no environment equivalent (`--threads`, `--journal`,
+    /// `--resume`, `--metrics-out`, `--progress`) are rejected rather
+    /// than silently dropped.
+    pub fn export_env(&self) -> Result<(), String> {
+        let unsupported = [
+            (self.threads.is_some(), "--threads"),
+            (self.journal.is_some(), "--journal"),
+            (self.resume.is_some(), "--resume"),
+            (self.metrics_out.is_some(), "--metrics-out"),
+            (self.progress, "--progress"),
+        ];
+        for (given, flag) in unsupported {
+            if given {
+                return Err(format!("{flag} is not supported by this binary"));
+            }
+        }
+        if let Some(retries) = self.retries {
+            std::env::set_var("BFBP_SWEEP_RETRIES", retries.to_string());
+        }
+        if let Some(ms) = self.backoff_ms {
+            std::env::set_var("BFBP_SWEEP_BACKOFF_MS", ms.to_string());
+        }
+        if let Some(ms) = self.timeout_ms {
+            std::env::set_var("BFBP_SWEEP_TIMEOUT_MS", ms.to_string());
+        }
+        if self.metrics {
+            std::env::set_var("BFBP_SWEEP_METRICS", "1");
+        }
+        if let Some(path) = &self.events {
+            std::env::set_var("BFBP_SWEEP_EVENTS", path.as_os_str());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consume_all(line: &[&str]) -> Result<(CommonArgs, Vec<String>), String> {
+        let mut common = CommonArgs::default();
+        let mut rest = Vec::new();
+        let mut args = line.iter().map(|s| (*s).to_owned());
+        while let Some(arg) = args.next() {
+            if !common.try_consume(&arg, &mut args)? {
+                rest.push(arg);
+            }
+        }
+        Ok((common, rest))
+    }
+
+    #[test]
+    fn consumes_common_flags_and_passes_through_the_rest() {
+        let (common, rest) = consume_all(&[
+            "--threads",
+            "4",
+            "--retries",
+            "2",
+            "--backoff",
+            "10",
+            "--timeout",
+            "5000",
+            "--journal",
+            "j.jsonl",
+            "--metrics-out",
+            "m.json",
+            "--events",
+            "e.jsonl",
+            "--progress",
+            "--run",
+            "night",
+            "bf-tage",
+        ])
+        .unwrap();
+        assert_eq!(common.threads, Some(4));
+        assert_eq!(common.retries, Some(2));
+        assert_eq!(common.backoff_ms, Some(10));
+        assert_eq!(common.timeout_ms, Some(5000));
+        assert_eq!(
+            common.journal.as_deref(),
+            Some(std::path::Path::new("j.jsonl"))
+        );
+        assert!(common.metrics);
+        assert_eq!(
+            common.metrics_out.as_deref(),
+            Some(std::path::Path::new("m.json"))
+        );
+        assert_eq!(
+            common.events.as_deref(),
+            Some(std::path::Path::new("e.jsonl"))
+        );
+        assert!(common.progress);
+        assert_eq!(rest, ["--run", "night", "bf-tage"]);
+    }
+
+    #[test]
+    fn missing_or_malformed_values_are_user_facing_errors() {
+        assert_eq!(
+            consume_all(&["--threads"]).unwrap_err(),
+            "--threads needs a thread count"
+        );
+        assert_eq!(
+            consume_all(&["--timeout", "soon"]).unwrap_err(),
+            "--timeout needs milliseconds"
+        );
+        assert_eq!(
+            consume_all(&["--journal"]).unwrap_err(),
+            "--journal needs a path"
+        );
+    }
+
+    #[test]
+    fn apply_to_overlays_only_given_flags() {
+        let mut options = SweepOptions::default().with_threads(7);
+        let (common, _) = consume_all(&["--retries", "3", "--backoff", "25"]).unwrap();
+        common.apply_to(&mut options);
+        assert_eq!(options.threads, 7, "untouched field must keep its value");
+        assert_eq!(options.retry.max_attempts, 4);
+        assert_eq!(options.retry.backoff, Duration::from_millis(25));
+        assert_eq!(options.timeout, None);
+        assert!(!options.metrics);
+    }
+
+    #[test]
+    fn resume_checkpoints_to_the_resumed_journal_by_default() {
+        let mut options = SweepOptions::default();
+        let (common, _) = consume_all(&["--resume", "r.jsonl"]).unwrap();
+        common.apply_to(&mut options);
+        assert_eq!(
+            options.resume_from.as_deref(),
+            Some(std::path::Path::new("r.jsonl"))
+        );
+        assert_eq!(
+            options.journal.as_deref(),
+            Some(std::path::Path::new("r.jsonl"))
+        );
+
+        let mut options = SweepOptions::default();
+        let (common, _) = consume_all(&["--resume", "r.jsonl", "--journal", "j.jsonl"]).unwrap();
+        common.apply_to(&mut options);
+        assert_eq!(
+            options.journal.as_deref(),
+            Some(std::path::Path::new("j.jsonl"))
+        );
+    }
+
+    #[test]
+    fn export_env_rejects_flags_without_env_equivalents() {
+        let (common, _) = consume_all(&["--progress"]).unwrap();
+        assert_eq!(
+            common.export_env().unwrap_err(),
+            "--progress is not supported by this binary"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod experiments;
 
 use bfbp_sim::simulate::SimResult;

@@ -11,11 +11,9 @@
 //! with every segment stack, in increasing depth order, is the BF-GHR:
 //! up to 2048 branches of raw history compressed into ≈144 entries.
 
-use std::collections::VecDeque;
-
 use bfbp_predictors::history::mix64;
 
-use crate::recency::RecencyStack;
+use crate::recency::{RecencyStack, RsOp};
 
 /// The paper's segment boundaries (§VI-C): "History segmentation divides
 /// the long global history into following non-overlapping segments such
@@ -45,12 +43,46 @@ struct Segment {
     start: usize,
     end: usize,
     rs: RecencyStack,
+    /// Pre-mixed hash words for the current stack contents (the
+    /// `collect_mixed` representation), rebuilt inside `commit` only
+    /// when the stack actually changed. A segment's stack is stable
+    /// across most commits, so caching turns the per-prediction
+    /// re-mixing of every segment entry into a memcpy.
+    words: Vec<u64>,
+    /// Prefix XORs of `words`: `pxor[k]` is the XOR of the first `k`
+    /// words (`pxor[0] == 0`), rebuilt alongside `words`. A consumer
+    /// folding the word stream up to an arbitrary cut point can then
+    /// swallow a whole segment with one XOR and resolve a mid-segment
+    /// cut with one lookup.
+    pxor: Vec<u64>,
+}
+
+/// Raw-history ring slot layout: hashed key in the low 16 bits, taken
+/// at bit 16, bias status at bit 17.
+const RING_TAKEN: u32 = 1 << 16;
+const RING_NON_BIASED: u32 = 1 << 17;
+
+/// The pre-mixed hash word for one segment-stack entry: salted with the
+/// segment index (order-insensitive within the segment) but not the
+/// stack position, so a cached word survives the entry moving around
+/// the stack.
+#[inline]
+fn seg_word(key: u64, outcome: bool, seg_id: usize) -> u64 {
+    mix64((key << 20) ^ (u64::from(outcome) << 17) ^ ((seg_id as u64 + 1) << 8))
 }
 
 /// The segmented bias-free history register.
+///
+/// The raw unfiltered history lives in a power-of-two ring of packed
+/// `u32` slots indexed by commit time: the entry at depth `d` is the
+/// slot written `d` commits ago. A ring write never moves other
+/// entries, so a commit is one store plus the segment bookkeeping —
+/// there is no deque to shift — and the depth lookups the segment
+/// crossings need are single L1 loads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BfGhr {
-    unfiltered: VecDeque<GhrEntry>,
+    ring: Vec<u32>,
+    ring_mask: u64,
     segments: Vec<Segment>,
     recent: usize,
     max_depth: usize,
@@ -86,16 +118,40 @@ impl BfGhr {
                 start: w[0],
                 end: w[1],
                 rs: RecencyStack::new(rs_size),
+                words: Vec::with_capacity(rs_size),
+                pxor: vec![0],
             })
             .collect();
+        let max_depth = boundaries[boundaries.len() - 1];
+        let ring_len = max_depth.next_power_of_two();
         Self {
-            unfiltered: VecDeque::with_capacity(boundaries[boundaries.len() - 1] + 1),
+            ring: vec![0; ring_len],
+            ring_mask: ring_len as u64 - 1,
             segments,
             recent: boundaries[0],
-            max_depth: boundaries[boundaries.len() - 1],
+            max_depth,
             now: 0,
             commits: 0,
             non_biased_commits: 0,
+        }
+    }
+
+    /// Live raw-history length: commits so far, saturating at the
+    /// maximum depth.
+    #[inline]
+    fn raw_len(&self) -> usize {
+        self.max_depth.min(self.now as usize)
+    }
+
+    /// The raw-history entry at `depth` (0 = newest). Callers must keep
+    /// `depth < self.raw_len()`.
+    #[inline]
+    fn raw_at(&self, depth: usize) -> GhrEntry {
+        let slot = self.ring[((self.now - depth as u64) & self.ring_mask) as usize];
+        GhrEntry {
+            key: slot as u16,
+            taken: slot & RING_TAKEN != 0,
+            non_biased: slot & RING_NON_BIASED != 0,
         }
     }
 
@@ -112,8 +168,7 @@ impl BfGhr {
     /// Current compressed length: unfiltered prefix + live segment-stack
     /// entries.
     pub fn compressed_len(&self) -> usize {
-        self.recent.min(self.unfiltered.len())
-            + self.segments.iter().map(|s| s.rs.len()).sum::<usize>()
+        self.recent.min(self.raw_len()) + self.segments.iter().map(|s| s.rs.len()).sum::<usize>()
     }
 
     /// Upper bound on the compressed length (Table I's "RS 142 entries"
@@ -131,27 +186,75 @@ impl BfGhr {
         if non_biased {
             self.non_biased_commits += 1;
         }
-        self.unfiltered.push_front(GhrEntry {
-            key,
-            taken,
-            non_biased,
-        });
-        if self.unfiltered.len() > self.max_depth {
-            self.unfiltered.pop_back();
-        }
         self.now += 1;
-        for seg in &mut self.segments {
+        let packed = u32::from(key)
+            | if taken { RING_TAKEN } else { 0 }
+            | if non_biased { RING_NON_BIASED } else { 0 };
+        let slot = (self.now & self.ring_mask) as usize;
+        self.ring[slot] = packed;
+        let raw_len = self.raw_len();
+        for (seg_id, seg) in self.segments.iter_mut().enumerate() {
             // The record previously at depth start-1 is now at depth
-            // start: it crosses into this segment.
-            if let Some(e) = self.unfiltered.get(seg.start) {
-                if e.non_biased {
-                    seg.rs.record(u64::from(e.key), e.taken, self.now);
+            // start: it crosses into this segment. The cached word
+            // stream mirrors the stack mutation instead of re-mixing
+            // every entry: a segment word depends on (key, outcome,
+            // segment) but not position, so a refresh is a rotation and
+            // only a brand-new or outcome-flipped entry needs `mix64`.
+            if seg.start < raw_len {
+                let e = self.ring[((self.now - seg.start as u64) & self.ring_mask) as usize];
+                if e & RING_NON_BIASED != 0 {
+                    let key = u64::from(e as u16);
+                    let outcome = e & RING_TAKEN != 0;
+                    // `pxor[k]` is the XOR of the first k words — a
+                    // multiset property — so only the prefix of `pxor`
+                    // covering reordered words needs recomputing: up to
+                    // the hit depth on a refresh, everything on an
+                    // insert, and nothing on a pure truncation.
+                    match seg.rs.record(key, outcome, self.now) {
+                        RsOp::Refreshed {
+                            from,
+                            outcome_changed,
+                        } => {
+                            seg.words[..=from].rotate_right(1);
+                            // A pure rotation only disturbs the first
+                            // `from + 1` prefix XORs; a changed word is
+                            // part of every deeper prefix too.
+                            let recompute_to = if outcome_changed {
+                                seg.words[0] = seg_word(key, outcome, seg_id);
+                                seg.words.len()
+                            } else {
+                                from + 1
+                            };
+                            let mut acc = 0u64;
+                            for k in 0..recompute_to {
+                                acc ^= seg.words[k];
+                                seg.pxor[k + 1] = acc;
+                            }
+                        }
+                        RsOp::Inserted { evicted } => {
+                            if evicted {
+                                seg.words.pop();
+                                seg.pxor.pop();
+                            }
+                            seg.words.insert(0, seg_word(key, outcome, seg_id));
+                            seg.pxor.push(0);
+                            let mut acc = 0u64;
+                            for (k, &w) in seg.words.iter().enumerate() {
+                                acc ^= w;
+                                seg.pxor[k + 1] = acc;
+                            }
+                        }
+                    }
                 }
             }
             // Instances that have travelled the segment's full length
-            // fall out.
+            // fall out; the surviving prefix XORs are untouched.
             let seg_len = (seg.end - seg.start) as u64;
-            seg.rs.expire(self.now, seg_len);
+            let dropped = seg.rs.expire(self.now, seg_len);
+            if dropped > 0 {
+                seg.words.truncate(seg.words.len() - dropped);
+                seg.pxor.truncate(seg.words.len() + 1);
+            }
         }
     }
 
@@ -166,7 +269,8 @@ impl BfGhr {
     /// analogue of a history register's positional stability.
     pub fn collect(&self, out: &mut Vec<(u16, bool)>) {
         out.clear();
-        for e in self.unfiltered.iter().take(self.recent) {
+        for depth in 0..self.recent.min(self.raw_len()) {
+            let e = self.raw_at(depth);
             out.push((e.key, e.taken));
         }
         let mut scratch: Vec<(u16, bool)> = Vec::with_capacity(8);
@@ -194,16 +298,80 @@ impl BfGhr {
     /// enters or leaves an earlier segment.
     pub fn collect_mixed(&self, out: &mut Vec<u64>) {
         out.clear();
-        for (pos, e) in self.unfiltered.iter().take(self.recent).enumerate() {
-            let word = (u64::from(e.key) << 20) ^ (u64::from(e.taken) << 17) ^ (pos as u64);
-            out.push(mix64(word));
+        out.extend(self.mixed_words());
+    }
+
+    /// The [`BfGhr::collect_mixed`] word stream as a lazy iterator, so a
+    /// consumer that folds the words (BF-TAGE's prefix-XOR set hash) can
+    /// skip materializing them.
+    ///
+    /// The unfiltered prefix is positional, so its words shift on every
+    /// commit and must be re-mixed; segment words are cached (maintained
+    /// by `commit`) because a stack's contents are stable across most
+    /// commits.
+    pub fn mixed_words(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.recent.min(self.raw_len()))
+            .map(|pos| {
+                let e = self.raw_at(pos);
+                let word = (u64::from(e.key) << 20) ^ (u64::from(e.taken) << 17) ^ (pos as u64);
+                mix64(word)
+            })
+            .chain(self.segments.iter().flat_map(|s| s.words.iter().copied()))
+    }
+
+    /// XOR-folds the mixed word stream (see [`BfGhr::mixed_words`]),
+    /// pushing into `out` one snapshot of the running fold per requested
+    /// length: `out[i]` is the XOR of the first `min(lengths[i], total)`
+    /// words. `lengths` must be non-decreasing.
+    ///
+    /// This is the hot-path form of the fold: the positional prefix is
+    /// mixed word by word (it changes every commit), but each segment is
+    /// swallowed with a single cached XOR and a mid-segment cut resolves
+    /// through the segment's cached prefix-XOR table — O(prefix +
+    /// segments + lengths) instead of O(total words) per call.
+    pub fn fold_mixed(&self, lengths: &[usize], out: &mut Vec<u64>) {
+        out.clear();
+        let n = lengths.len();
+        let mut li = 0usize;
+        let mut h = 0u64;
+        let mut consumed = 0usize;
+        while li < n && lengths[li] == 0 {
+            out.push(h);
+            li += 1;
         }
-        for (seg_id, seg) in self.segments.iter().enumerate() {
-            for e in seg.rs.iter() {
-                let word =
-                    (e.key << 20) ^ (u64::from(e.outcome) << 17) ^ ((seg_id as u64 + 1) << 8);
-                out.push(mix64(word));
+        for pos in 0..self.recent.min(self.raw_len()) {
+            if li == n {
+                return;
             }
+            let e = self.raw_at(pos);
+            let word = (u64::from(e.key) << 20) ^ (u64::from(e.taken) << 17) ^ (pos as u64);
+            h ^= mix64(word);
+            consumed += 1;
+            while li < n && lengths[li] == consumed {
+                out.push(h);
+                li += 1;
+            }
+        }
+        for seg in &self.segments {
+            if li == n {
+                return;
+            }
+            let len = seg.words.len();
+            while li < n && lengths[li] < consumed + len {
+                out.push(h ^ seg.pxor[lengths[li] - consumed]);
+                li += 1;
+            }
+            h ^= seg.pxor[len];
+            consumed += len;
+            while li < n && lengths[li] == consumed {
+                out.push(h);
+                li += 1;
+            }
+        }
+        // Stream exhausted: every remaining length sees the full fold.
+        while li < n {
+            out.push(h);
+            li += 1;
         }
     }
 
@@ -365,6 +533,65 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_monotonic_boundaries_panic() {
         BfGhr::with_segments(&[16, 8], 4);
+    }
+
+    #[test]
+    fn segment_word_cache_mirrors_stack() {
+        // The incrementally-maintained word/pxor caches must always
+        // equal a from-scratch rebuild off the recency stacks.
+        let mut g = BfGhr::new();
+        for i in 0..5000u64 {
+            g.commit(
+                (i.wrapping_mul(0x2545_F491) & 0x3FFF) as u16,
+                i % 5 < 2,
+                i % 4 != 0,
+            );
+            if i % 131 != 0 {
+                continue;
+            }
+            for (seg_id, seg) in g.segments.iter().enumerate() {
+                let expect: Vec<u64> = seg
+                    .rs
+                    .iter()
+                    .map(|e| seg_word(e.key, e.outcome, seg_id))
+                    .collect();
+                assert_eq!(seg.words, expect, "segment {seg_id} after commit {i}");
+                let mut acc = 0u64;
+                let mut pxor = vec![0u64];
+                for w in &expect {
+                    acc ^= w;
+                    pxor.push(acc);
+                }
+                assert_eq!(seg.pxor, pxor, "segment {seg_id} pxor after commit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_mixed_matches_word_stream_fold() {
+        // The cached-pxor fold must agree with a naive fold of the full
+        // word stream at every cut point, across history fills ranging
+        // from empty to saturated.
+        let mut g = BfGhr::new();
+        let lengths = [0usize, 3, 8, 14, 26, 40, 54, 70, 94, 118, 142, 500];
+        let mut folded = Vec::new();
+        for i in 0..3000u64 {
+            g.commit(
+                (i.wrapping_mul(0x9E37) & 0x3FFF) as u16,
+                i % 3 == 0,
+                i % 7 < 3,
+            );
+            if i % 97 != 0 {
+                continue;
+            }
+            let words: Vec<u64> = g.mixed_words().collect();
+            g.fold_mixed(&lengths, &mut folded);
+            assert_eq!(folded.len(), lengths.len());
+            for (want, got) in lengths.iter().zip(&folded) {
+                let naive = words.iter().take(*want).fold(0u64, |acc, w| acc ^ w);
+                assert_eq!(naive, *got, "cut at {want} after {i} commits");
+            }
+        }
     }
 
     #[test]

@@ -167,7 +167,9 @@ impl DeepHistory {
                     q.pop_back();
                 }
             }
-            DeepHistory::Stack(rs) => rs.record(key, outcome, now),
+            DeepHistory::Stack(rs) => {
+                rs.record(key, outcome, now);
+            }
         }
     }
 
@@ -330,27 +332,47 @@ impl BfNeural {
         (mix64(key) & ((1 << self.config.log_wrs) - 1)) as usize
     }
 
-    /// Computes the perceptron sum and the index scratch for `pc`.
-    fn compute(&self, pc: u64) -> (i32, Vec<usize>, Vec<(usize, bool)>) {
+    /// Computes the perceptron sum for `pc`, filling the caller-provided
+    /// index buffers (cleared first). Writing into reused buffers — and
+    /// matching on the deep-history variant instead of boxing an
+    /// iterator — keeps the per-prediction path allocation-free.
+    fn compute(
+        &self,
+        pc: u64,
+        wm_indices: &mut Vec<usize>,
+        wrs_terms: &mut Vec<(usize, bool)>,
+    ) -> i32 {
+        wm_indices.clear();
+        wrs_terms.clear();
         let mut sum = i32::from(self.wb[((pc >> 2) & 0x3FF) as usize]);
         let ht = self.config.recent_unfiltered;
-        let mut wm_indices = Vec::with_capacity(ht);
         for age in 0..ht {
             let idx = self.wm_index(pc, age);
             wm_indices.push(idx);
             let w = i32::from(self.wm[idx]);
             sum += if self.unf_hist.bit(age) { w } else { -w };
         }
-        let mut wrs_terms = Vec::with_capacity(self.config.deep_depth);
-        for entry in self.deep.iter().take(self.config.deep_depth) {
+        let add = |entry: &RsEntry, sum: &mut i32, terms: &mut Vec<(usize, bool)>| {
             let idx = self.wrs_index(pc, entry);
             let w = i32::from(self.wrs[idx]);
             // Wrs weights are narrow (5-bit); scale them up so a strong
             // deep correlation can outvote the recent component.
-            sum += if entry.outcome { w } else { -w } * 3;
-            wrs_terms.push((idx, entry.outcome));
+            *sum += if entry.outcome { w } else { -w } * 3;
+            terms.push((idx, entry.outcome));
+        };
+        match &self.deep {
+            DeepHistory::Shift(q, _) => {
+                for entry in q.iter().take(self.config.deep_depth) {
+                    add(entry, &mut sum, wrs_terms);
+                }
+            }
+            DeepHistory::Stack(rs) => {
+                for entry in rs.iter().take(self.config.deep_depth) {
+                    add(entry, &mut sum, wrs_terms);
+                }
+            }
         }
-        (sum, wm_indices, wrs_terms)
+        sum
     }
 
     fn train_weights(
@@ -397,22 +419,22 @@ impl ConditionalPredictor for BfNeural {
 
     fn predict(&mut self, pc: u64) -> bool {
         let status = self.classifier.status(pc);
-        let (pred, scratch) = match status {
-            BranchStatus::NotFound => (false, Scratch::default()),
-            BranchStatus::Taken => (true, Scratch::default()),
-            BranchStatus::NotTaken => (false, Scratch::default()),
+        // Take the scratch buffers out (a pointer move, not an
+        // allocation), refill them, and put them back — their capacity is
+        // recycled across the whole run.
+        let mut wm_indices = std::mem::take(&mut self.scratch.wm_indices);
+        let mut wrs_terms = std::mem::take(&mut self.scratch.wrs_terms);
+        wm_indices.clear();
+        wrs_terms.clear();
+        let mut sum = 0;
+        let mut used_perceptron = false;
+        let pred = match status {
+            BranchStatus::NotFound | BranchStatus::NotTaken => false,
+            BranchStatus::Taken => true,
             BranchStatus::NonBiased => {
-                let (sum, wm_indices, wrs_terms) = self.compute(pc);
-                (
-                    sum >= 0,
-                    Scratch {
-                        sum,
-                        used_perceptron: true,
-                        wm_indices,
-                        wrs_terms,
-                        final_pred: false,
-                    },
-                )
+                sum = self.compute(pc, &mut wm_indices, &mut wrs_terms);
+                used_perceptron = true;
+                sum >= 0
             }
         };
         // The loop predictor overrides when confident (§IV-B2: "The loop
@@ -422,17 +444,24 @@ impl ConditionalPredictor for BfNeural {
             _ => pred,
         };
         self.scratch = Scratch {
+            sum,
+            used_perceptron,
+            wm_indices,
+            wrs_terms,
             final_pred,
-            ..scratch
         };
         final_pred
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
-        let scratch = std::mem::take(&mut self.scratch);
+        let sum = self.scratch.sum;
+        let used_perceptron = self.scratch.used_perceptron;
+        let final_pred = self.scratch.final_pred;
+        let mut wm_indices = std::mem::take(&mut self.scratch.wm_indices);
+        let mut wrs_terms = std::mem::take(&mut self.scratch.wrs_terms);
         let status_before = self.classifier.status(pc);
         let status_after = self.classifier.commit(pc, taken);
-        let final_mispredict = scratch.final_pred != taken;
+        let final_mispredict = final_pred != taken;
 
         match status_before {
             BranchStatus::NotFound => {}
@@ -440,21 +469,24 @@ impl ConditionalPredictor for BfNeural {
                 // Algorithm 3: a biased branch breaking its bias
                 // transitions to NonBiased and trains the weights.
                 if status_after == BranchStatus::NonBiased {
-                    let (_, wm_indices, wrs_terms) = self.compute(pc);
+                    self.compute(pc, &mut wm_indices, &mut wrs_terms);
                     self.train_weights(pc, taken, &wm_indices, &wrs_terms);
                 }
             }
             BranchStatus::NonBiased => {
-                if scratch.used_perceptron {
-                    let perceptron_mispredict = (scratch.sum >= 0) != taken;
-                    let below = scratch.sum.abs() <= self.theta;
+                if used_perceptron {
+                    let perceptron_mispredict = (sum >= 0) != taken;
+                    let below = sum.abs() <= self.theta;
                     if perceptron_mispredict || below {
-                        self.train_weights(pc, taken, &scratch.wm_indices, &scratch.wrs_terms);
+                        self.train_weights(pc, taken, &wm_indices, &wrs_terms);
                     }
                     self.adapt_threshold(perceptron_mispredict, below);
                 }
             }
         }
+        // Return the buffers for the next prediction.
+        self.scratch.wm_indices = wm_indices;
+        self.scratch.wrs_terms = wrs_terms;
 
         // Deep-history insertion per mode (Algorithm 3: "if BST ==
         // Non_biased then Update RS").

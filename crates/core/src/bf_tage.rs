@@ -16,6 +16,7 @@ use bfbp_tage::config::TageConfig;
 use bfbp_tage::isl::{Isl, TageEngine};
 use bfbp_tage::tage::{ProviderStats, TageCore};
 use bfbp_trace::record::BranchRecord;
+use bfbp_trace::source::TraceChunk;
 
 use crate::bf_ghr::BfGhr;
 use crate::bst::{BranchStatus, Bst, Classifier};
@@ -27,8 +28,12 @@ pub struct BfTage {
     ghr: BfGhr,
     path: PathHistory,
     classifier: Classifier,
-    n_tables: usize,
-    mixed_scratch: Vec<u64>,
+    /// Per-table compressed history lengths, ascending (mirrors
+    /// `core.tables()`), precomputed for `BfGhr::fold_mixed`.
+    history_lens: Vec<usize>,
+    idx_scratch: Vec<usize>,
+    tag_scratch: Vec<u16>,
+    hidx_scratch: Vec<u64>,
     name: String,
 }
 
@@ -48,8 +53,10 @@ impl BfTage {
             ghr: BfGhr::new(),
             path: PathHistory::new(config.path_bits),
             classifier,
-            n_tables: config.tables.len(),
-            mixed_scratch: Vec::with_capacity(160),
+            history_lens: config.tables.iter().map(|t| t.history_len).collect(),
+            idx_scratch: Vec::with_capacity(config.tables.len()),
+            tag_scratch: Vec::with_capacity(config.tables.len()),
+            hidx_scratch: Vec::with_capacity(config.tables.len()),
             name: format!("bf-tage-{}t", config.tables.len()),
         }
     }
@@ -84,38 +91,38 @@ impl BfTage {
         &self.ghr
     }
 
-    fn compute_indices_tags(&mut self, pc: u64) -> (Vec<usize>, Vec<u16>) {
-        self.ghr.collect_mixed(&mut self.mixed_scratch);
-        let entries = &self.mixed_scratch;
+    /// Fills `idx_scratch`/`tag_scratch` for `pc` — reused buffers, so
+    /// the steady-state prediction path performs no heap allocation.
+    fn compute_indices_tags(&mut self, pc: u64) {
         let pch = pc >> 2;
-        let n = self.n_tables;
-        let mut indices = Vec::with_capacity(n);
-        let mut tags = Vec::with_capacity(n);
-        // Order-insensitive set hash over the compressed entry stream
-        // (see `BfGhr::collect_mixed`); capture a snapshot at each
-        // table's compressed history length.
-        let mut h_idx = 0u64;
-        let mut consumed = 0usize;
-        let mut table = 0usize;
+        let path16 = self.path.value() & 0xFFFF;
+        // Order-insensitive set hash over the compressed entry stream,
+        // snapshotted at each table's compressed history length via the
+        // BF-GHR's cached segment prefix-XORs (see `BfGhr::fold_mixed`)
+        // — the hot path never walks the full word stream.
+        self.ghr
+            .fold_mixed(&self.history_lens, &mut self.hidx_scratch);
+        self.idx_scratch.clear();
+        self.tag_scratch.clear();
         let tables = self.core.tables();
-        while table < n {
-            let want = tables[table].history_len();
-            while consumed < want && consumed < entries.len() {
-                h_idx ^= entries[consumed];
-                consumed += 1;
-            }
-            let t = &tables[table];
-            let path_mix =
-                mix64((self.path.value() & 0xFFFF).wrapping_mul(0xC2B2_AE3D + table as u64));
+        // A second, independent finalization of the same set hash makes
+        // the partial tag; consecutive tables whose lengths both exceed
+        // the live compressed history see the same set hash, so the
+        // finalization is recomputed only when the snapshot changed.
+        let mut h_tag = 0u64;
+        let mut prev_h_idx = 0u64;
+        for (table, t) in tables.iter().enumerate() {
+            let h_idx = self.hidx_scratch[table];
+            let path_mix = mix64(path16.wrapping_mul(0xC2B2_AE3D + table as u64));
             let raw_idx = pch ^ (pch >> (t.log_size() + 1)) ^ h_idx ^ (path_mix >> 3);
-            indices.push(t.mask_index(raw_idx));
-            // A second, independent finalization of the same set hash for
-            // the partial tag.
-            let h_tag = mix64(h_idx ^ 0xA5A5_5A5A_DEAD_BEEF);
-            tags.push(t.mask_tag(pch ^ h_tag ^ (h_tag >> 13)));
-            table += 1;
+            self.idx_scratch.push(t.mask_index(raw_idx));
+            if table == 0 || h_idx != prev_h_idx {
+                h_tag = mix64(h_idx ^ 0xA5A5_5A5A_DEAD_BEEF);
+            }
+            prev_h_idx = h_idx;
+            self.tag_scratch
+                .push(t.mask_tag(pch ^ h_tag ^ (h_tag >> 13)));
         }
-        (indices, tags)
     }
 
     fn key_of(pc: u64) -> u16 {
@@ -129,8 +136,8 @@ impl ConditionalPredictor for BfTage {
     }
 
     fn predict(&mut self, pc: u64) -> bool {
-        let (indices, tags) = self.compute_indices_tags(pc);
-        self.core.predict(pc, indices, tags)
+        self.compute_indices_tags(pc);
+        self.core.predict(pc, &self.idx_scratch, &self.tag_scratch)
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
@@ -146,6 +153,32 @@ impl ConditionalPredictor for BfTage {
 
     fn track_other(&mut self, record: &BranchRecord) {
         self.path.push(record.pc);
+    }
+
+    fn predict_batch(&mut self, pcs: &[u64], _targets: &[u64], takens: &[bool], miss: &mut [bool]) {
+        // Fused predict+update over a run of conditional branches:
+        // identical per-record semantics to `predict` + `update`, with
+        // one virtual dispatch for the whole run and every scratch
+        // buffer staying warm.
+        for i in 0..pcs.len() {
+            let pc = pcs[i];
+            let taken = takens[i];
+            self.compute_indices_tags(pc);
+            let guess = self.core.predict(pc, &self.idx_scratch, &self.tag_scratch);
+            miss[i] = guess != taken;
+            self.core.update(pc, taken);
+            let status = self.classifier.commit(pc, taken);
+            self.ghr
+                .commit(Self::key_of(pc), taken, status == BranchStatus::NonBiased);
+            self.path.push(pc);
+        }
+    }
+
+    fn update_batch(&mut self, chunk: &TraceChunk, start: usize, end: usize) {
+        // Non-conditional transfers only feed the path history.
+        for &pc in &chunk.pcs()[start..end] {
+            self.path.push(pc);
+        }
     }
 
     fn storage(&self) -> StorageBreakdown {

@@ -29,6 +29,28 @@ impl RsEntry {
     }
 }
 
+/// What a [`RecencyStack::record`] call did to the stack, for callers
+/// that mirror the stack contents in a derived cache (the segmented
+/// BF-GHR keeps pre-mixed hash words in stack order and replays these
+/// ops instead of rebuilding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RsOp {
+    /// The key was already tracked at depth `from`: it moved to the top,
+    /// entries above it slid down one.
+    Refreshed {
+        /// Depth the entry was found at (0 = top).
+        from: usize,
+        /// Whether the refresh changed the stored outcome.
+        outcome_changed: bool,
+    },
+    /// The key was new: pushed on top, with the bottom entry evicted if
+    /// the stack was full.
+    Inserted {
+        /// Whether a bottom entry was evicted to make room.
+        evicted: bool,
+    },
+}
+
 /// A fixed-capacity recency stack, newest entry first.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecencyStack {
@@ -72,20 +94,31 @@ impl RecencyStack {
     /// and birth (the Figure 3 clock-gated shift: entries between the top
     /// and the hit slide down by one, older entries stay). Otherwise a
     /// new entry is pushed and the oldest is evicted if over capacity.
-    pub fn record(&mut self, key: u64, outcome: bool, now: u64) {
+    ///
+    /// Returns the [`RsOp`] describing what happened, so a caller can
+    /// mirror the mutation in a derived per-entry cache.
+    pub fn record(&mut self, key: u64, outcome: bool, now: u64) -> RsOp {
+        let entry = RsEntry {
+            key,
+            outcome,
+            birth: now,
+        };
         if let Some(hit) = self.entries.iter().position(|e| e.key == key) {
-            self.entries.remove(hit);
-        } else if self.entries.len() == self.capacity {
-            self.entries.pop();
+            let outcome_changed = self.entries[hit].outcome != outcome;
+            self.entries[..=hit].rotate_right(1);
+            self.entries[0] = entry;
+            RsOp::Refreshed {
+                from: hit,
+                outcome_changed,
+            }
+        } else {
+            let evicted = self.entries.len() == self.capacity;
+            if evicted {
+                self.entries.pop();
+            }
+            self.entries.insert(0, entry);
+            RsOp::Inserted { evicted }
         }
-        self.entries.insert(
-            0,
-            RsEntry {
-                key,
-                outcome,
-                birth: now,
-            },
-        );
     }
 
     /// Iterates entries newest-first.
@@ -106,19 +139,23 @@ impl RecencyStack {
     }
 
     /// Removes every entry whose tracked occurrence is at distance
-    /// `>= max_pos` from `now`, returning them in stack (newest-first)
-    /// order (used for segment expiry).
-    pub fn expire(&mut self, now: u64, max_pos: u64) -> Vec<RsEntry> {
-        let mut expired = Vec::new();
-        self.entries.retain(|e| {
-            if e.position(now) >= max_pos {
-                expired.push(*e);
-                false
-            } else {
-                true
-            }
-        });
-        expired
+    /// `>= max_pos` from `now`, returning how many were dropped (used
+    /// for segment expiry). Births are strictly decreasing from top to
+    /// bottom (every record lands at the top with the newest clock), so
+    /// expired entries always form a suffix — the segmented BF-GHR calls
+    /// this once per segment per committed branch, and the common case
+    /// is a single tail check.
+    pub fn expire(&mut self, now: u64, max_pos: u64) -> usize {
+        let mut dropped = 0;
+        while self
+            .entries
+            .last()
+            .is_some_and(|e| e.position(now) >= max_pos)
+        {
+            self.entries.pop();
+            dropped += 1;
+        }
+        dropped
     }
 
     /// Storage estimate in bits: each entry holds a 14-bit hashed
@@ -215,14 +252,12 @@ mod tests {
         rs.record(0xB, true, 5);
         rs.record(0xC, true, 9);
         let expired = rs.expire(10, 5);
-        let keys: Vec<u64> = expired.iter().map(|e| e.key).collect();
-        assert_eq!(
-            keys,
-            vec![0xB, 0xA],
-            "expired in stack (newest-first) order"
-        );
+        assert_eq!(expired, 2, "0xA and 0xB are at distance >= 5");
         assert_eq!(rs.len(), 1);
+        assert_eq!(rs.depth_of(0xA), None);
+        assert_eq!(rs.depth_of(0xB), None);
         assert_eq!(rs.depth_of(0xC), Some(0));
+        assert_eq!(rs.expire(10, 5), 0, "second pass removes nothing");
     }
 
     #[test]

@@ -79,6 +79,16 @@ impl ConditionalPredictor for Bimodal {
         self.train(pc, taken);
     }
 
+    fn predict_batch(&mut self, pcs: &[u64], _targets: &[u64], takens: &[bool], miss: &mut [bool]) {
+        // One index computation per record serves both halves of the
+        // fused lookup + train (the counter is read before training).
+        for i in 0..pcs.len() {
+            let idx = ((pcs[i] >> 2) & self.mask) as usize;
+            miss[i] = self.table.is_taken(idx) != takens[i];
+            self.table.train(idx, takens[i]);
+        }
+    }
+
     fn storage(&self) -> StorageBreakdown {
         let mut s = StorageBreakdown::new();
         s.push("bimodal table", self.storage_bits());

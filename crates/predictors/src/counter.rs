@@ -160,16 +160,13 @@ impl CounterTable {
         i32::from(self.values[index])
     }
 
-    /// Trains the counter at `index` toward `taken`.
+    /// Trains the counter at `index` toward `taken`. Branchless: the ±1
+    /// step in `i16` (an 8-bit counter at +127 would overflow `i8`) plus
+    /// clamp compiles to straight-line min/max.
     pub fn train(&mut self, index: usize, taken: bool) {
         let v = &mut self.values[index];
-        if taken {
-            if *v < self.max {
-                *v += 1;
-            }
-        } else if *v > self.min {
-            *v -= 1;
-        }
+        let delta = i16::from(taken) * 2 - 1;
+        *v = (i16::from(*v) + delta).clamp(i16::from(self.min), i16::from(self.max)) as i8;
     }
 
     /// Adds `delta` to the counter at `index`, saturating.

@@ -70,6 +70,23 @@ impl ConditionalPredictor for Gshare {
         self.history.push(taken);
     }
 
+    fn predict_batch(&mut self, pcs: &[u64], _targets: &[u64], takens: &[bool], miss: &mut [bool]) {
+        // Carry the packed history register across the run instead of
+        // re-packing `hist_len` bits from the ring buffer per branch.
+        // `low_bits` puts age `i` at bit `i`, so committing an outcome is
+        // a shift-in at bit 0.
+        let hmask = u64::MAX >> (64 - self.hist_len as u32);
+        let mut h = self.history.low_bits(self.hist_len);
+        for i in 0..pcs.len() {
+            let taken = takens[i];
+            let idx = (((pcs[i] >> 2) ^ h) & self.mask) as usize;
+            miss[i] = self.table.is_taken(idx) != taken;
+            self.table.train(idx, taken);
+            self.history.push(taken);
+            h = ((h << 1) | u64::from(taken)) & hmask;
+        }
+    }
+
     fn storage(&self) -> StorageBreakdown {
         let mut s = StorageBreakdown::new();
         s.push("pattern history table", self.table.storage_bits());

@@ -62,9 +62,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use bfbp_trace::cache::CacheStatus;
 use bfbp_trace::format::{corrupt, read_trace, read_trace_file};
 use bfbp_trace::record::{BranchRecord, Trace};
-use bfbp_trace::source::{FileSource, TraceSource};
+use bfbp_trace::source::{FileSource, TraceChunk, TraceSource};
 use bfbp_trace::synth::suite::TraceSpec;
 
 use crate::fault::{Fault, FaultPlan};
@@ -449,7 +450,8 @@ impl StreamedTrace {
 
     /// Prefer chunk-decoding this BFBT file (typically a
     /// [`bfbp_trace::cache::TraceCache`] entry) over regenerating; a
-    /// missing or corrupt file silently falls back to synthesis.
+    /// missing or corrupt file falls back to synthesis, reported as a
+    /// [`CacheStatus::Generated`] fetch in the event journal.
     pub fn with_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.file = Some(path.into());
         self
@@ -465,14 +467,52 @@ impl StreamedTrace {
         self.n_records
     }
 
-    /// Opens a fresh source positioned at the first record.
-    fn open_source(&self) -> Box<dyn TraceSource> {
+    /// Opens a fresh source positioned at the first record, with the
+    /// cache accounting of the open: `Hit` when the backing file
+    /// validated and will be decoded, `Generated` when a file was
+    /// configured but is missing or corrupt (the quarantine-and-
+    /// regenerate path [`bfbp_trace::cache::TraceCache::fetch`] takes),
+    /// `Bypassed` when no file was ever attached.
+    fn open_source(&self) -> (Box<dyn TraceSource>, CacheStatus) {
         if let Some(path) = &self.file {
-            if let Ok(source) = FileSource::open(path) {
-                return Box::new(source);
+            if self.validate_file(path) {
+                if let Ok(source) = FileSource::open(path) {
+                    return (Box::new(source), CacheStatus::Hit);
+                }
+            }
+            return (
+                Box::new(self.spec.stream_len(self.n_records)),
+                CacheStatus::Generated,
+            );
+        }
+        (
+            Box::new(self.spec.stream_len(self.n_records)),
+            CacheStatus::Bypassed,
+        )
+    }
+
+    /// Pre-scans the backing file end to end — footer count, FNV
+    /// checksum, trace name, and record count against this recipe — in
+    /// constant memory. A torn entry must quarantine into regeneration
+    /// *before* any record reaches a predictor: `fill_chunk` surfacing
+    /// the corruption mid-simulation would fail the job instead of
+    /// falling back.
+    fn validate_file(&self, path: &std::path::Path) -> bool {
+        let Ok(mut probe) = FileSource::open(path) else {
+            return false;
+        };
+        if probe.name() != self.spec.name() {
+            return false;
+        }
+        let mut chunk = TraceChunk::new();
+        let mut total = 0usize;
+        loop {
+            match probe.fill_chunk(&mut chunk, 4096) {
+                Ok(0) => return total == self.n_records,
+                Ok(n) => total += n,
+                Err(_) => return false,
             }
         }
-        Box::new(self.spec.stream_len(self.n_records))
     }
 }
 
@@ -512,22 +552,6 @@ impl TraceInput {
             TraceInput::Ready(trace) => trace.name(),
             TraceInput::Streamed(streamed) => streamed.name(),
             TraceInput::Unavailable { name, .. } => name,
-        }
-    }
-}
-
-/// Runs a configured [`Simulation`] against whatever form the trace
-/// input takes. `Unavailable` is rejected in `run_job_inner` before any
-/// attempt starts, so reaching it here is an engine bug.
-fn drive_simulation<P: crate::predictor::ConditionalPredictor + ?Sized>(
-    sim: Simulation<'_, P>,
-    input: &TraceInput,
-) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
-    match input {
-        TraceInput::Ready(trace) => sim.run_trace(trace),
-        TraceInput::Streamed(streamed) => sim.run(&mut *streamed.open_source()),
-        TraceInput::Unavailable { name, .. } => {
-            unreachable!("unavailable trace {name:?} reached the simulation loop")
         }
     }
 }
@@ -1006,6 +1030,41 @@ impl SweepContext<'_> {
             .str("trace", self.inputs[job % self.n_traces].name())
     }
 
+    /// Runs a configured [`Simulation`] against whatever form the trace
+    /// input takes. `Unavailable` is rejected in `run_job_inner` before
+    /// any attempt starts, so reaching it here is an engine bug.
+    ///
+    /// A file-backed streamed input reports its per-job open through the
+    /// same `trace_cache` event the materializing
+    /// [`SuiteRunner::from_specs_cached`] path emits, so a corrupt cache
+    /// entry that quarantines into regeneration shows up in the journal
+    /// as a `generated` fetch instead of passing silently.
+    fn drive<P: crate::predictor::ConditionalPredictor + ?Sized>(
+        &self,
+        sim: Simulation<'_, P>,
+        input: &TraceInput,
+    ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
+        match input {
+            TraceInput::Ready(trace) => sim.run_trace(trace),
+            TraceInput::Streamed(streamed) => {
+                let (mut source, status) = streamed.open_source();
+                if streamed.file.is_some() {
+                    self.emit(
+                        Event::new("trace_cache")
+                            .str("trace", streamed.name())
+                            .num("records", streamed.n_records() as u64)
+                            .str("status", status.name())
+                            .num("generated", u64::from(status.generated())),
+                    );
+                }
+                sim.run(&mut *source)
+            }
+            TraceInput::Unavailable { name, .. } => {
+                unreachable!("unavailable trace {name:?} reached the simulation loop")
+            }
+        }
+    }
+
     fn run_attempt(
         &self,
         job: usize,
@@ -1053,7 +1112,7 @@ impl SweepContext<'_> {
                 Some(obs) => {
                     let mut observe =
                         |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted);
-                    drive_simulation(
+                    self.drive(
                         Simulation::new(predictor.as_mut())
                             .intervals(self.interval_insts)
                             .cancel(&mut cancelled)
@@ -1061,7 +1120,7 @@ impl SweepContext<'_> {
                         input,
                     )
                 }
-                None => drive_simulation(
+                None => self.drive(
                     Simulation::new(predictor.as_mut())
                         .intervals(self.interval_insts)
                         .cancel(&mut cancelled),

@@ -45,8 +45,4 @@ pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorS
 pub use simulate::{
     mean_mpki, simulate, IntervalPoint, SimResult, Simulation, SimulationAborted, SimulationError,
 };
-#[allow(deprecated)]
-pub use simulate::{
-    simulate_with_intervals, simulate_with_intervals_observed, simulate_with_intervals_while,
-};
 pub use storage::StorageBreakdown;

@@ -14,6 +14,7 @@
 use std::borrow::Cow;
 
 use bfbp_trace::record::BranchRecord;
+use bfbp_trace::source::TraceChunk;
 
 use crate::obs::PredictorIntrospect;
 use crate::storage::StorageBreakdown;
@@ -44,6 +45,44 @@ pub trait ConditionalPredictor {
     /// transfer. Default: ignored.
     fn track_other(&mut self, record: &BranchRecord) {
         let _ = record;
+    }
+
+    /// Predicts *and trains on* a run of consecutive conditional
+    /// branches, writing the per-record misprediction flag into `miss`.
+    ///
+    /// Prediction `i + 1` observes the committed outcome of prediction
+    /// `i` (trace-driven simulation updates immediately), so a batch
+    /// entry point cannot separate the predict pass from the update
+    /// pass: this method is the *fused* kernel. It must behave exactly
+    /// as the default implementation — `predict(pc)` followed by
+    /// `update(pc, taken, target)` per record, in order — and exists so
+    /// implementations can amortize virtual dispatch and reuse scratch
+    /// state across the run. The simulation hot loop calls this once per
+    /// run of conditional records inside a [`TraceChunk`].
+    ///
+    /// All four slices cover the same records; `miss[i]` must be set to
+    /// `predicted != takens[i]` for every `i`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the slice lengths differ.
+    fn predict_batch(&mut self, pcs: &[u64], targets: &[u64], takens: &[bool], miss: &mut [bool]) {
+        for i in 0..pcs.len() {
+            let guess = self.predict(pcs[i]);
+            miss[i] = guess != takens[i];
+            self.update(pcs[i], takens[i], targets[i]);
+        }
+    }
+
+    /// Notifies the predictor of a run `start..end` of consecutive
+    /// non-conditional records inside `chunk` — the batched counterpart
+    /// of [`ConditionalPredictor::track_other`]. Must behave exactly as
+    /// the default implementation: one `track_other` per record, in
+    /// order.
+    fn update_batch(&mut self, chunk: &TraceChunk, start: usize, end: usize) {
+        for i in start..end {
+            self.track_other(&chunk.record(i));
+        }
     }
 
     /// Reports the hardware storage this configuration requires.

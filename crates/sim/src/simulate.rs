@@ -3,9 +3,13 @@
 //! The hot loop consumes structure-of-arrays [`TraceChunk`]s from any
 //! [`TraceSource`], so a simulation's working set is O(chunk) whether
 //! the trace is materialized, decoded from disk, or generated on the
-//! fly. The [`Simulation`] builder is the one entry point; the older
-//! `simulate_with_intervals*` free functions survive as thin deprecated
-//! wrappers.
+//! fly. Each chunk is segmented into maximal runs of same-kind records
+//! and handed to the predictor's batch kernels
+//! ([`ConditionalPredictor::predict_batch`] /
+//! [`ConditionalPredictor::update_batch`]); totals, interval windows,
+//! and observer callbacks are reconstructed from the per-record
+//! misprediction flags in a scalar post-pass, so batching never changes
+//! a single count. The [`Simulation`] builder is the one entry point.
 
 use std::fmt;
 
@@ -321,6 +325,7 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             mispredictions: 0,
         };
         let mut chunk = TraceChunk::with_capacity(chunk_records);
+        let mut miss = vec![false; chunk_records];
         loop {
             let n = source.fill_chunk(&mut chunk, chunk_records)?;
             if n == 0 {
@@ -335,40 +340,76 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
                     return Err(SimulationError::Aborted);
                 }
             }
-            let pcs = chunk.pcs();
-            let targets = chunk.targets();
-            let kinds = chunk.kinds();
-            let takens = chunk.takens();
-            let gaps = chunk.inst_gaps();
-            for i in 0..n {
-                let insts = u64::from(gaps[i]) + 1;
-                instructions += insts;
-                window.instructions += insts;
-                if kinds[i].is_conditional() {
-                    conditional_branches += 1;
-                    window.conditional_branches += 1;
-                    let guess = predictor.predict(pcs[i]);
-                    if guess != takens[i] {
-                        mispredictions += 1;
-                        window.mispredictions += 1;
-                    }
-                    if let Some(observe) = observer.as_mut() {
-                        observe(pcs[i], takens[i], guess != takens[i]);
-                    }
-                    predictor.update(pcs[i], takens[i], targets[i]);
-                } else {
-                    predictor.track_other(&chunk.record(i));
+            if miss.len() < n {
+                miss.resize(n, false);
+            }
+            let pcs = &chunk.pcs()[..n];
+            let targets = &chunk.targets()[..n];
+            let kinds = &chunk.kinds()[..n];
+            let takens = &chunk.takens()[..n];
+            let gaps = &chunk.inst_gaps()[..n];
+            // Drive the predictor over maximal same-kind runs: one
+            // (virtual) batch call per run instead of two per record.
+            // The fused predict+update kernel records each branch's
+            // misprediction flag; nothing downstream of the flags feeds
+            // back into the predictor, so the accounting can run as a
+            // separate scalar pass without changing any count.
+            let mut i = 0;
+            while i < n {
+                let conditional = kinds[i].is_conditional();
+                let mut j = i + 1;
+                while j < n && kinds[j].is_conditional() == conditional {
+                    j += 1;
                 }
-                // Interval windows close on exact record boundaries;
-                // this check cannot move to the chunk boundary without
-                // breaking byte-identity with the materialized path.
-                if interval_insts > 0 && window.instructions >= interval_insts {
-                    intervals.push(window);
-                    window = IntervalPoint {
-                        instructions: 0,
-                        conditional_branches: 0,
-                        mispredictions: 0,
-                    };
+                if conditional {
+                    predictor.predict_batch(
+                        &pcs[i..j],
+                        &targets[i..j],
+                        &takens[i..j],
+                        &mut miss[i..j],
+                    );
+                } else {
+                    predictor.update_batch(&chunk, i, j);
+                }
+                i = j;
+            }
+            if interval_insts == 0 && observer.is_none() {
+                // No windows and no observer: totals reduce to three
+                // straight-line sums, amortized once per chunk.
+                for i in 0..n {
+                    instructions += u64::from(gaps[i]) + 1;
+                    if kinds[i].is_conditional() {
+                        conditional_branches += 1;
+                        mispredictions += u64::from(miss[i]);
+                    }
+                }
+            } else {
+                for i in 0..n {
+                    let insts = u64::from(gaps[i]) + 1;
+                    instructions += insts;
+                    window.instructions += insts;
+                    if kinds[i].is_conditional() {
+                        conditional_branches += 1;
+                        window.conditional_branches += 1;
+                        if miss[i] {
+                            mispredictions += 1;
+                            window.mispredictions += 1;
+                        }
+                        if let Some(observe) = observer.as_mut() {
+                            observe(pcs[i], takens[i], miss[i]);
+                        }
+                    }
+                    // Interval windows close on exact record boundaries;
+                    // this check cannot move to the chunk boundary without
+                    // breaking byte-identity with the materialized path.
+                    if interval_insts > 0 && window.instructions >= interval_insts {
+                        intervals.push(window);
+                        window = IntervalPoint {
+                            instructions: 0,
+                            conditional_branches: 0,
+                            mispredictions: 0,
+                        };
+                    }
                 }
             }
         }
@@ -397,74 +438,6 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
         trace: &Trace,
     ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
         self.run(&mut ReplaySource::new(trace))
-    }
-}
-
-/// [`simulate_with_intervals`] with a cooperative cancellation point.
-#[deprecated(
-    since = "0.4.0",
-    note = "use Simulation::new(predictor).intervals(n).cancel(cancelled).run_trace(trace)"
-)]
-pub fn simulate_with_intervals_while<P: ConditionalPredictor + ?Sized>(
-    predictor: &mut P,
-    trace: &Trace,
-    interval_insts: u64,
-    cancelled: &mut dyn FnMut() -> bool,
-) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
-    match Simulation::new(predictor)
-        .intervals(interval_insts)
-        .cancel(cancelled)
-        .run_trace(trace)
-    {
-        Ok(out) => Ok(out),
-        Err(SimulationError::Aborted) => Err(SimulationAborted),
-        Err(SimulationError::Source(e)) => unreachable!("replay cannot fail to decode: {e}"),
-    }
-}
-
-/// [`simulate_with_intervals_while`] with a per-branch observation hook.
-#[deprecated(
-    since = "0.4.0",
-    note = "use Simulation::new(predictor).intervals(n).cancel(cancelled)\
-            .observer(observe).run_trace(trace)"
-)]
-pub fn simulate_with_intervals_observed<P: ConditionalPredictor + ?Sized>(
-    predictor: &mut P,
-    trace: &Trace,
-    interval_insts: u64,
-    cancelled: &mut dyn FnMut() -> bool,
-    observe: &mut dyn FnMut(u64, bool, bool),
-) -> Result<(SimResult, Vec<IntervalPoint>), SimulationAborted> {
-    match Simulation::new(predictor)
-        .intervals(interval_insts)
-        .cancel(cancelled)
-        .observer(observe)
-        .run_trace(trace)
-    {
-        Ok(out) => Ok(out),
-        Err(SimulationError::Aborted) => Err(SimulationAborted),
-        Err(SimulationError::Source(e)) => unreachable!("replay cannot fail to decode: {e}"),
-    }
-}
-
-/// [`simulate`], additionally collecting windowed counts every
-/// `interval_insts` committed instructions (`0` disables collection and
-/// returns an empty vector).
-#[deprecated(
-    since = "0.4.0",
-    note = "use Simulation::new(predictor).intervals(n).run_trace(trace)"
-)]
-pub fn simulate_with_intervals<P: ConditionalPredictor + ?Sized>(
-    predictor: &mut P,
-    trace: &Trace,
-    interval_insts: u64,
-) -> (SimResult, Vec<IntervalPoint>) {
-    match Simulation::new(predictor)
-        .intervals(interval_insts)
-        .run_trace(trace)
-    {
-        Ok(out) => out,
-        Err(e) => unreachable!("uncancellable replay cannot fail: {e}"),
     }
 }
 
@@ -692,34 +665,6 @@ mod tests {
             .run(&mut spec.stream_len(3000))
             .unwrap();
         assert_eq!(replayed, streamed);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_builder() {
-        let trace = trace_tnt();
-        let mut p0 = StaticPredictor::always_taken();
-        let reference = Simulation::new(&mut p0)
-            .intervals(10)
-            .run_trace(&trace)
-            .unwrap();
-        let mut p1 = StaticPredictor::always_taken();
-        assert_eq!(simulate_with_intervals(&mut p1, &trace, 10), reference);
-        let mut p2 = StaticPredictor::always_taken();
-        assert_eq!(
-            simulate_with_intervals_while(&mut p2, &trace, 10, &mut || false),
-            Ok(reference.clone())
-        );
-        let mut p3 = StaticPredictor::always_taken();
-        assert_eq!(
-            simulate_with_intervals_while(&mut p3, &trace, 10, &mut || true),
-            Err(SimulationAborted)
-        );
-        let mut p4 = StaticPredictor::always_taken();
-        assert_eq!(
-            simulate_with_intervals_observed(&mut p4, &trace, 10, &mut || false, &mut |_, _, _| {}),
-            Ok(reference)
-        );
     }
 
     #[test]

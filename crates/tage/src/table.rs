@@ -110,28 +110,21 @@ impl TaggedTable {
     }
 
     /// Trains the prediction counter at `index` toward `taken` (3-bit
-    /// saturating).
+    /// saturating). Branchless: the ±1 step plus clamp compiles to
+    /// straight-line min/max, which the mispredict-heavy update path
+    /// rewards.
     pub fn train(&mut self, index: usize, taken: bool) {
         let e = &mut self.entries[index];
-        if taken {
-            if e.ctr < 3 {
-                e.ctr += 1;
-            }
-        } else if e.ctr > -4 {
-            e.ctr -= 1;
-        }
+        let delta = (taken as i8) * 2 - 1;
+        e.ctr = (e.ctr + delta).clamp(-4, 3);
     }
 
-    /// Adjusts the usefulness counter at `index` (2-bit saturating).
+    /// Adjusts the usefulness counter at `index` (2-bit saturating,
+    /// branchless like [`TaggedTable::train`]).
     pub fn touch_useful(&mut self, index: usize, up: bool) {
         let e = &mut self.entries[index];
-        if up {
-            if e.useful < 3 {
-                e.useful += 1;
-            }
-        } else if e.useful > 0 {
-            e.useful -= 1;
-        }
+        let delta = (up as i8) * 2 - 1;
+        e.useful = (e.useful as i8 + delta).clamp(0, 3) as u8;
     }
 
     /// Allocates the entry at `index` for `tag`, weakly biased toward

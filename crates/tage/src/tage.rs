@@ -15,6 +15,7 @@ use bfbp_sim::obs::{Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_trace::record::BranchRecord;
+use bfbp_trace::source::TraceChunk;
 
 use crate::config::TageConfig;
 use crate::table::TaggedTable;
@@ -75,6 +76,11 @@ impl ProviderStats {
 }
 
 /// Scratch state carried from a prediction to its update.
+///
+/// The `indices`/`tags` buffers are owned here and recycled across
+/// predictions (cleared and refilled by [`TageCore::predict`], handed
+/// back after [`TageCore::update`]), so the steady-state loop performs
+/// no heap allocation.
 #[derive(Debug, Clone, Default)]
 struct PredContext {
     indices: Vec<usize>,
@@ -210,12 +216,14 @@ impl TageCore {
     }
 
     /// Computes the prediction for `pc` given per-table `indices` and
-    /// `tags` (already masked to each table's geometry).
+    /// `tags` (already masked to each table's geometry). The slices are
+    /// copied into the engine's reusable prediction context, so callers
+    /// can keep them in their own scratch buffers.
     ///
     /// # Panics
     ///
     /// Panics if `indices` or `tags` length differs from the table count.
-    pub fn predict(&mut self, pc: u64, indices: Vec<usize>, tags: Vec<u16>) -> bool {
+    pub fn predict(&mut self, pc: u64, indices: &[usize], tags: &[u16]) -> bool {
         assert_eq!(indices.len(), self.tables.len());
         assert_eq!(tags.len(), self.tables.len());
         let mut provider = None;
@@ -255,22 +263,25 @@ impl TageCore {
             Some(i) => self.tables[i].entry(indices[i]).ctr,
             None => 0,
         };
-        self.ctx = PredContext {
-            indices,
-            tags,
-            provider,
-            alt,
-            provider_pred,
-            alt_pred,
-            final_pred,
-            provider_weak,
-        };
+        self.ctx.indices.clear();
+        self.ctx.indices.extend_from_slice(indices);
+        self.ctx.tags.clear();
+        self.ctx.tags.extend_from_slice(tags);
+        self.ctx.provider = provider;
+        self.ctx.alt = alt;
+        self.ctx.provider_pred = provider_pred;
+        self.ctx.alt_pred = alt_pred;
+        self.ctx.final_pred = final_pred;
+        self.ctx.provider_weak = provider_weak;
         final_pred
     }
 
     /// Trains the engine with the resolved direction of the branch last
     /// passed to [`TageCore::predict`].
     pub fn update(&mut self, pc: u64, taken: bool) {
+        // Take the context out to release the borrow on `self`, then hand
+        // it back at the end so its buffers are recycled by the next
+        // prediction.
         let ctx = std::mem::take(&mut self.ctx);
         let mispredicted = ctx.final_pred != taken;
 
@@ -286,27 +297,34 @@ impl TageCore {
         let can_allocate = ctx.provider.map_or(0, |p| p + 1) < n;
         if mispredicted && can_allocate {
             let start = ctx.provider.map_or(0, |p| p + 1);
-            let mut candidates: Vec<usize> = (start..n)
-                .filter(|&j| self.tables[j].entry(ctx.indices[j]).useful == 0)
-                .collect();
-            if candidates.is_empty() {
-                for j in start..n {
-                    self.tables[j].touch_useful(ctx.indices[j], false);
-                }
-                self.alloc_failures += 1;
-            } else {
-                // Prefer shorter tables, skipping each with probability
-                // 1/2 (Seznec's anti-ping-pong randomization).
-                let mut chosen = *candidates.last().expect("non-empty");
-                for &j in &candidates {
-                    if self.next_rand() & 1 == 0 {
-                        chosen = j;
-                        break;
+            let last_free = (start..n)
+                .rev()
+                .find(|&j| self.tables[j].entry(ctx.indices[j]).useful == 0);
+            match last_free {
+                None => {
+                    for j in start..n {
+                        self.tables[j].touch_useful(ctx.indices[j], false);
                     }
+                    self.alloc_failures += 1;
                 }
-                candidates.clear();
-                self.tables[chosen].allocate(ctx.indices[chosen], ctx.tags[chosen], taken);
-                self.allocs[chosen] += 1;
+                Some(last) => {
+                    // Prefer shorter tables, skipping each candidate with
+                    // probability 1/2 (Seznec's anti-ping-pong
+                    // randomization); fall back to the longest free table
+                    // when every coin flip says skip.
+                    let mut chosen = last;
+                    for j in start..n {
+                        if self.tables[j].entry(ctx.indices[j]).useful != 0 {
+                            continue;
+                        }
+                        if self.next_rand() & 1 == 0 {
+                            chosen = j;
+                            break;
+                        }
+                    }
+                    self.tables[chosen].allocate(ctx.indices[chosen], ctx.tags[chosen], taken);
+                    self.allocs[chosen] += 1;
+                }
             }
         }
 
@@ -339,6 +357,9 @@ impl TageCore {
             }
             self.useful_resets += 1;
         }
+
+        // Recycle the context buffers for the next prediction.
+        self.ctx = ctx;
     }
 
     /// Storage of the base + tagged tables.
@@ -367,8 +388,11 @@ pub struct Tage {
     core: TageCore,
     history: ManagedHistory,
     path: PathHistory,
-    n_tables: usize,
     name: String,
+    // Per-prediction index/tag scratch, recycled so the hot path never
+    // allocates.
+    idx_scratch: Vec<usize>,
+    tag_scratch: Vec<u16>,
 }
 
 impl Tage {
@@ -389,8 +413,9 @@ impl Tage {
             core: TageCore::new(config),
             history: ManagedHistory::new(capacity, &fold_specs),
             path: PathHistory::new(config.path_bits),
-            n_tables: config.tables.len(),
             name: format!("tage-{}t", config.tables.len()),
+            idx_scratch: Vec::with_capacity(config.tables.len()),
+            tag_scratch: Vec::with_capacity(config.tables.len()),
         }
     }
 
@@ -418,10 +443,14 @@ impl Tage {
         self.core.reset_provider_stats();
     }
 
-    fn compute_indices_tags(&self, pc: u64) -> (Vec<usize>, Vec<u16>) {
+    /// Recomputes the per-table indices and tags for `pc` into the
+    /// reusable scratch buffers. The folds themselves are maintained
+    /// incrementally by [`ManagedHistory::push`], so this is O(tables)
+    /// regardless of history depth.
+    fn compute_indices_tags(&mut self, pc: u64) {
         let pch = pc >> 2;
-        let mut indices = Vec::with_capacity(self.n_tables);
-        let mut tags = Vec::with_capacity(self.n_tables);
+        self.idx_scratch.clear();
+        self.tag_scratch.clear();
         for (i, t) in self.core.tables().iter().enumerate() {
             let f_idx = self.history.fold(3 * i);
             let f_tag_a = self.history.fold(3 * i + 1);
@@ -430,10 +459,10 @@ impl Tage {
             let path_bits = self.path.value() & ((1u64 << path_window) - 1);
             let path_mix = mix64(path_bits.wrapping_mul(0x9E37_79B9u64 + i as u64));
             let raw_idx = pch ^ (pch >> (t.log_size() + 1)) ^ f_idx ^ (path_mix >> 3);
-            indices.push(t.mask_index(raw_idx));
-            tags.push(t.mask_tag(pch ^ f_tag_a ^ (f_tag_b << 1)));
+            self.idx_scratch.push(t.mask_index(raw_idx));
+            self.tag_scratch
+                .push(t.mask_tag(pch ^ f_tag_a ^ (f_tag_b << 1)));
         }
-        (indices, tags)
     }
 }
 
@@ -443,8 +472,8 @@ impl ConditionalPredictor for Tage {
     }
 
     fn predict(&mut self, pc: u64) -> bool {
-        let (indices, tags) = self.compute_indices_tags(pc);
-        self.core.predict(pc, indices, tags)
+        self.compute_indices_tags(pc);
+        self.core.predict(pc, &self.idx_scratch, &self.tag_scratch)
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
@@ -455,6 +484,27 @@ impl ConditionalPredictor for Tage {
 
     fn track_other(&mut self, record: &BranchRecord) {
         self.path.push(record.pc);
+    }
+
+    fn predict_batch(&mut self, pcs: &[u64], _targets: &[u64], takens: &[bool], miss: &mut [bool]) {
+        // Fused non-virtual predict+update over the run; identical state
+        // transitions to the per-record default.
+        for i in 0..pcs.len() {
+            self.compute_indices_tags(pcs[i]);
+            let guess = self
+                .core
+                .predict(pcs[i], &self.idx_scratch, &self.tag_scratch);
+            miss[i] = guess != takens[i];
+            self.core.update(pcs[i], takens[i]);
+            self.history.push(takens[i]);
+            self.path.push(pcs[i]);
+        }
+    }
+
+    fn update_batch(&mut self, chunk: &TraceChunk, start: usize, end: usize) {
+        for &pc in &chunk.pcs()[start..end] {
+            self.path.push(pc);
+        }
     }
 
     fn storage(&self) -> StorageBreakdown {

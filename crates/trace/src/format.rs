@@ -132,24 +132,6 @@ fn write_varint<W: Write>(w: &mut W, mut value: u64, hash: &mut Fnv) -> io::Resu
     }
 }
 
-fn read_varint<R: Read>(r: &mut R, hash: &mut Fnv) -> Result<u64, TraceFormatError> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
-        hash.update(&byte);
-        if shift >= 64 {
-            return Err(TraceFormatError::MalformedVarint);
-        }
-        value |= u64::from(byte[0] & 0x7F) << shift;
-        if byte[0] & 0x80 == 0 {
-            return Ok(value);
-        }
-        shift += 7;
-    }
-}
-
 fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
@@ -169,9 +151,14 @@ impl Fnv {
 
     fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01B3);
+            self.update1(b);
         }
+    }
+
+    #[inline]
+    fn update1(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x100_0000_01B3);
     }
 
     fn finish(self) -> u64 {
@@ -258,13 +245,25 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
+/// Internal read-ahead buffer size for [`TraceReader`]. Records average
+/// 4–6 bytes, so one refill serves thousands of records.
+const READER_BUF_BYTES: usize = 16 * 1024;
+
 /// Streaming trace reader; an [`Iterator`] over records.
 ///
 /// The footer (count + checksum) is validated when the end tag is reached;
 /// validation failures surface as the iterator's final `Some(Err(..))`.
+///
+/// The reader maintains its own read-ahead buffer and decodes tags and
+/// varints byte-by-byte from it, so the per-record hot path never issues
+/// a sub-buffer read against the underlying source; wrapping the source
+/// in a `BufReader` is unnecessary.
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     inner: R,
+    buf: Box<[u8]>,
+    pos: usize,
+    filled: usize,
     name: String,
     hash: Fnv,
     count: u64,
@@ -279,31 +278,34 @@ impl<R: Read> TraceReader<R> {
     ///
     /// Returns an error on I/O failure, bad magic, unsupported version, or
     /// a malformed name.
-    pub fn new(mut inner: R) -> Result<Self, TraceFormatError> {
-        let mut magic = [0u8; 4];
-        inner.read_exact(&mut magic)?;
-        if magic != MAGIC {
-            return Err(TraceFormatError::BadMagic(magic));
-        }
-        let mut ver = [0u8; 2];
-        inner.read_exact(&mut ver)?;
-        let version = u16::from_le_bytes(ver);
-        if version != VERSION {
-            return Err(TraceFormatError::UnsupportedVersion(version));
-        }
-        let mut scratch = Fnv::new();
-        let name_len = read_varint(&mut inner, &mut scratch)? as usize;
-        let mut name_bytes = vec![0u8; name_len];
-        inner.read_exact(&mut name_bytes)?;
-        let name = String::from_utf8(name_bytes).map_err(|_| TraceFormatError::BadName)?;
-        Ok(Self {
+    pub fn new(inner: R) -> Result<Self, TraceFormatError> {
+        let mut reader = Self {
             inner,
-            name,
+            buf: vec![0u8; READER_BUF_BYTES].into_boxed_slice(),
+            pos: 0,
+            filled: 0,
+            name: String::new(),
             hash: Fnv::new(),
             count: 0,
             prev_pc: 0,
             done: false,
-        })
+        };
+        let mut magic = [0u8; 4];
+        reader.fill_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(TraceFormatError::BadMagic(magic));
+        }
+        let mut ver = [0u8; 2];
+        reader.fill_exact(&mut ver)?;
+        let version = u16::from_le_bytes(ver);
+        if version != VERSION {
+            return Err(TraceFormatError::UnsupportedVersion(version));
+        }
+        let name_len = reader.varint_unhashed()? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        reader.fill_exact(&mut name_bytes)?;
+        reader.name = String::from_utf8(name_bytes).map_err(|_| TraceFormatError::BadName)?;
+        Ok(reader)
     }
 
     /// The trace name from the header.
@@ -311,14 +313,91 @@ impl<R: Read> TraceReader<R> {
         &self.name
     }
 
+    /// One byte off the read-ahead buffer, refilling from the source when
+    /// the buffer runs dry. EOF mid-stream surfaces as an `UnexpectedEof`
+    /// I/O error, matching `Read::read_exact`.
+    #[inline]
+    fn next_byte(&mut self) -> Result<u8, TraceFormatError> {
+        if self.pos == self.filled {
+            self.refill()?;
+        }
+        let byte = self.buf[self.pos];
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    #[cold]
+    fn refill(&mut self) -> Result<(), TraceFormatError> {
+        loop {
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => {
+                    return Err(TraceFormatError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "unexpected end of trace stream",
+                    )))
+                }
+                Ok(n) => {
+                    self.pos = 0;
+                    self.filled = n;
+                    return Ok(());
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn fill_exact(&mut self, out: &mut [u8]) -> Result<(), TraceFormatError> {
+        for slot in out.iter_mut() {
+            *slot = self.next_byte()?;
+        }
+        Ok(())
+    }
+
+    /// A record-body varint; every consumed byte feeds the running
+    /// stream checksum.
+    #[inline]
+    fn varint(&mut self) -> Result<u64, TraceFormatError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.next_byte()?;
+            self.hash.update1(byte);
+            if shift >= 64 {
+                return Err(TraceFormatError::MalformedVarint);
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    /// A framing varint (header name length, footer record count): not
+    /// part of the checksummed record bytes.
+    fn varint_unhashed(&mut self) -> Result<u64, TraceFormatError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.next_byte()?;
+            if shift >= 64 {
+                return Err(TraceFormatError::MalformedVarint);
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
     fn read_record(&mut self) -> Result<Option<BranchRecord>, TraceFormatError> {
-        let mut tag = [0u8; 1];
-        self.inner.read_exact(&mut tag)?;
-        if tag[0] == END_TAG {
-            let mut scratch = Fnv::new();
-            let expected_count = read_varint(&mut self.inner, &mut scratch)?;
+        let tag = self.next_byte()?;
+        if tag == END_TAG {
+            let expected_count = self.varint_unhashed()?;
             let mut sum = [0u8; 8];
-            self.inner.read_exact(&mut sum)?;
+            self.fill_exact(&mut sum)?;
             let expected = u64::from_le_bytes(sum);
             let actual = self.hash.finish();
             if expected_count != self.count {
@@ -332,16 +411,12 @@ impl<R: Read> TraceReader<R> {
             }
             return Ok(None);
         }
-        self.hash.update(&tag);
-        let taken = tag[0] & 0x80 != 0;
-        let kind =
-            BranchKind::from_u8(tag[0] & 0x7F).ok_or(TraceFormatError::BadKind(tag[0] & 0x7F))?;
-        let pc = self
-            .prev_pc
-            .wrapping_add(unzigzag(read_varint(&mut self.inner, &mut self.hash)?) as u64);
-        let target =
-            pc.wrapping_add(unzigzag(read_varint(&mut self.inner, &mut self.hash)?) as u64);
-        let insts = read_varint(&mut self.inner, &mut self.hash)? as u32;
+        self.hash.update1(tag);
+        let taken = tag & 0x80 != 0;
+        let kind = BranchKind::from_u8(tag & 0x7F).ok_or(TraceFormatError::BadKind(tag & 0x7F))?;
+        let pc = self.prev_pc.wrapping_add(unzigzag(self.varint()?) as u64);
+        let target = pc.wrapping_add(unzigzag(self.varint()?) as u64);
+        let insts = self.varint()? as u32;
         self.prev_pc = pc;
         self.count += 1;
         Ok(Some(BranchRecord {
@@ -425,7 +500,7 @@ pub fn read_trace<R: Read>(reader: R) -> Result<Trace, TraceFormatError> {
 /// validation.
 pub fn read_trace_file(path: impl AsRef<std::path::Path>) -> Result<Trace, TraceFormatError> {
     let file = std::fs::File::open(path)?;
-    read_trace(std::io::BufReader::new(file))
+    read_trace(file)
 }
 
 pub mod corrupt {

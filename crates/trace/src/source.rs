@@ -19,7 +19,7 @@
 //! iterated a `Vec<BranchRecord>`.
 
 use std::fs::File;
-use std::io::{BufReader, Read};
+use std::io::Read;
 use std::path::Path;
 
 use crate::format::{TraceFormatError, TraceReader};
@@ -165,8 +165,12 @@ pub struct FileSource<R: Read> {
     name: String,
 }
 
-impl FileSource<BufReader<File>> {
+impl FileSource<File> {
     /// Opens a BFBT file for chunked reading.
+    ///
+    /// [`TraceReader`] maintains its own read-ahead buffer, so the file
+    /// is handed over unwrapped — a `BufReader` here would only add a
+    /// second copy of every byte.
     ///
     /// # Errors
     ///
@@ -174,7 +178,7 @@ impl FileSource<BufReader<File>> {
     /// its header is invalid.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFormatError> {
         let file = File::open(path)?;
-        Self::from_reader(BufReader::new(file))
+        Self::from_reader(file)
     }
 }
 

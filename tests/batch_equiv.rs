@@ -1,0 +1,129 @@
+//! Batched ≡ per-record equivalence: the chunked [`Simulation`] hot
+//! loop — including every hand-written `predict_batch`/`update_batch`
+//! kernel — must reproduce the record-at-a-time `predict`/`update`
+//! contract exactly, for every registered predictor, on every trace,
+//! at any chunk size.
+//!
+//! The reference below is a deliberately naive per-record loop over the
+//! materialized trace, with interval windows closed on exact record
+//! boundaries; the batched path must match its misprediction counts,
+//! instruction totals, and full interval series (hence every windowed
+//! MPKI) bit for bit.
+
+use bfbp::sim::predictor::ConditionalPredictor;
+use bfbp::sim::simulate::{IntervalPoint, Simulation};
+use bfbp::trace::record::Trace;
+use bfbp::trace::synth::suite;
+
+const INTERVAL_INSTS: u64 = 2_500;
+const TRACES: [&str; 3] = ["SPEC03", "MM2", "SERV1"];
+const CHUNK_SIZES: [usize; 3] = [1, 7, 4096];
+const RECORDS: usize = 6_000;
+
+struct Reference {
+    conditional_branches: u64,
+    mispredictions: u64,
+    instructions: u64,
+    intervals: Vec<IntervalPoint>,
+}
+
+/// The per-record contract, spelled out: predict then update each
+/// conditional in commit order, `track_other` for the rest, close an
+/// interval window on the first record boundary at or past
+/// `INTERVAL_INSTS`, and flush the final partial window.
+fn reference_run(predictor: &mut dyn ConditionalPredictor, trace: &Trace) -> Reference {
+    let mut reference = Reference {
+        conditional_branches: 0,
+        mispredictions: 0,
+        instructions: 0,
+        intervals: Vec::new(),
+    };
+    let mut window = IntervalPoint {
+        instructions: 0,
+        conditional_branches: 0,
+        mispredictions: 0,
+    };
+    for record in trace.records() {
+        let insts = record.instructions();
+        reference.instructions += insts;
+        window.instructions += insts;
+        if record.kind.is_conditional() {
+            reference.conditional_branches += 1;
+            window.conditional_branches += 1;
+            let guess = predictor.predict(record.pc);
+            if guess != record.taken {
+                reference.mispredictions += 1;
+                window.mispredictions += 1;
+            }
+            predictor.update(record.pc, record.taken, record.target);
+        } else {
+            predictor.track_other(record);
+        }
+        if window.instructions >= INTERVAL_INSTS {
+            reference.intervals.push(window);
+            window = IntervalPoint {
+                instructions: 0,
+                conditional_branches: 0,
+                mispredictions: 0,
+            };
+        }
+    }
+    if window.instructions > 0 {
+        reference.intervals.push(window);
+    }
+    reference
+}
+
+#[test]
+fn every_registry_predictor_batches_identically() {
+    let registry = bfbp::default_registry();
+    let names = registry.names();
+    assert!(names.len() >= 8, "registry unexpectedly small: {names:?}");
+    for trace_name in TRACES {
+        let trace = suite::find(trace_name)
+            .unwrap_or_else(|| panic!("{trace_name} in suite"))
+            .generate_len(RECORDS);
+        for name in &names {
+            let mut reference_predictor = registry
+                .build(name, &Default::default())
+                .unwrap_or_else(|e| panic!("build {name}: {e}"));
+            let reference = reference_run(reference_predictor.as_mut(), &trace);
+            for chunk in CHUNK_SIZES {
+                let mut predictor = registry
+                    .build(name, &Default::default())
+                    .unwrap_or_else(|e| panic!("build {name}: {e}"));
+                let (result, intervals) = Simulation::new(predictor.as_mut())
+                    .intervals(INTERVAL_INSTS)
+                    .chunk_records(chunk)
+                    .run_trace(&trace)
+                    .expect("replay cannot abort");
+                let ctx = format!("{name} on {trace_name}, chunk={chunk}");
+                assert_eq!(
+                    result.mispredictions(),
+                    reference.mispredictions,
+                    "misprediction count diverged: {ctx}"
+                );
+                assert_eq!(
+                    result.conditional_branches(),
+                    reference.conditional_branches,
+                    "conditional count diverged: {ctx}"
+                );
+                assert_eq!(
+                    result.instructions(),
+                    reference.instructions,
+                    "instruction count diverged: {ctx}"
+                );
+                assert_eq!(
+                    intervals, reference.intervals,
+                    "interval series (windowed MPKI) diverged: {ctx}"
+                );
+                let interval_miss: u64 = intervals.iter().map(|w| w.mispredictions).sum();
+                assert_eq!(
+                    interval_miss,
+                    result.mispredictions(),
+                    "interval windows must sum to the total: {ctx}"
+                );
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use bfbp::sim::engine::{sweep_inputs, SweepOptions, TraceInput};
+use bfbp::sim::engine::{sweep_inputs, StreamedTrace, SweepOptions, TraceInput};
 use bfbp::sim::obs::EventJournal;
 use bfbp::sim::registry::PredictorSpec;
 use bfbp::sim::runner::{scaled_len, SuiteRunner};
@@ -226,6 +226,78 @@ fn warm_cache_does_zero_generation_per_events_journal() {
         0,
         "warm round must perform zero synthetic generation: {warm}"
     );
+
+    let _ = fs::remove_dir_all(&cache_dir);
+}
+
+/// File-backed streamed inputs route through the same `trace_cache`
+/// accounting as the materializing cache path: a healthy BFBT entry
+/// journals its per-job open as a `hit`, a corrupted entry quarantines
+/// into a `generated` (regenerate-from-spec) open — and the sweep
+/// documents are byte-identical to pure synthesis either way.
+#[test]
+fn file_backed_streamed_inputs_journal_cache_status() {
+    let registry = bfbp::default_registry();
+    let specs = vec![PredictorSpec::new("bimodal").labeled("b")];
+    let trace_spec = equiv_specs().remove(0);
+    let cache_dir = scratch("streamed-file-cache");
+    let cache = TraceCache::at(&cache_dir);
+    cache.fetch(&trace_spec, EQUIV_RECORDS);
+    let entry = cache
+        .entry_path(&trace_spec, EQUIV_RECORDS)
+        .expect("cache enabled");
+
+    let reference = sweep_inputs(
+        &registry,
+        &specs,
+        &[TraceInput::streamed(trace_spec.clone(), EQUIV_RECORDS)],
+        &SweepOptions::serial(),
+    )
+    .expect("synthesis-only sweep");
+
+    let file_backed = || {
+        TraceInput::Streamed(Box::new(
+            StreamedTrace::new(trace_spec.clone(), EQUIV_RECORDS).with_file(&entry),
+        ))
+    };
+
+    let hit_path = scratch("hit.events.jsonl");
+    let report = sweep_inputs(
+        &registry,
+        &specs,
+        &[file_backed()],
+        &SweepOptions::serial().with_events(&hit_path),
+    )
+    .expect("file-backed sweep");
+    assert_eq!(
+        report.results_json(),
+        reference.results_json(),
+        "healthy cache entry changed the results document"
+    );
+    let journal = fs::read_to_string(&hit_path).expect("hit journal");
+    assert_eq!(count_status(&journal, "hit"), 1, "{journal}");
+    assert_eq!(count_status(&journal, "generated"), 0, "{journal}");
+
+    // Corrupt the entry in place: the per-job open must fall back to
+    // synthesis, account for it as `generated`, and still match.
+    let bytes = fs::read(&entry).expect("entry exists");
+    fs::write(&entry, &bytes[..bytes.len() / 2]).expect("truncate entry");
+    let gen_path = scratch("generated.events.jsonl");
+    let report = sweep_inputs(
+        &registry,
+        &specs,
+        &[file_backed()],
+        &SweepOptions::serial().with_events(&gen_path),
+    )
+    .expect("sweep after corruption");
+    assert_eq!(
+        report.results_json(),
+        reference.results_json(),
+        "corrupt cache entry changed the results document"
+    );
+    let journal = fs::read_to_string(&gen_path).expect("generated journal");
+    assert_eq!(count_status(&journal, "generated"), 1, "{journal}");
+    assert_eq!(count_status(&journal, "hit"), 0, "{journal}");
 
     let _ = fs::remove_dir_all(&cache_dir);
 }
