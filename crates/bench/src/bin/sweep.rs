@@ -7,6 +7,7 @@
 //! sweep [--threads N] [--run NAME] [--interval INSTS]
 //!       [--retries N] [--backoff MS] [--timeout MS]
 //!       [--journal PATH] [--resume PATH]
+//!       [--checkpoint-every N] [--checkpoint-dir DIR]
 //!       [--metrics-out PATH] [--events-out PATH] [--progress]
 //!       [--trace-file PATH]... [--fault-plan PLAN]
 //!       [--trace-cache|--no-trace-cache]
@@ -35,8 +36,11 @@
 //! Fault tolerance: failed jobs are retried `--retries` times with
 //! `--backoff` between attempts; `--timeout` bounds each job's wall
 //! clock; `--journal` checkpoints completed jobs so `--resume` re-runs
-//! only missing or failed ones. `--fault-plan` injects deterministic
-//! failures (e.g. `panic@1,delay@2=50,io@3=checksum`) for drills. A run
+//! only missing or failed ones; `--checkpoint-every`/`--checkpoint-dir`
+//! additionally snapshot each in-flight job's full predictor state so a
+//! killed process resumes *mid-trace* instead of restarting the job.
+//! `--fault-plan` injects deterministic failures (e.g.
+//! `panic@1,delay@2=50,io@3=checksum,kill@4=5000`) for drills. A run
 //! with failed jobs still exits 0 and reports partial results — a spec
 //! that does not build at all is the only sweep-level failure.
 
@@ -176,13 +180,18 @@ fn main() -> ExitCode {
     }
     let summary = report.summary();
     println!(
-        "\n{} jobs on {} threads ({} ok, {} failed, {} timed out, {} skipped{}): wall {:.0} ms, cpu {:.0} ms, speedup {:.2}x",
+        "\n{} jobs on {} threads ({} ok, {} failed, {} timed out, {} skipped{}{}): wall {:.0} ms, cpu {:.0} ms, speedup {:.2}x",
         summary.jobs,
         report.threads(),
         summary.ok,
         summary.failed,
         summary.timed_out,
         summary.skipped,
+        if summary.killed > 0 {
+            format!(", {} killed", summary.killed)
+        } else {
+            String::new()
+        },
         if summary.resumed > 0 {
             format!(", {} resumed", summary.resumed)
         } else {
@@ -222,7 +231,7 @@ fn usage(err: &str) -> ExitCode {
                       <spec> [<spec>...]\n\
                 sweep --list\n\
          spec: [label=]name[:key=value,...]\n\
-         plan: e.g. panic@1,panic@4=1,delay@2=50,io@3=checksum,skip@5,random@42=0.1\n\
+         plan: e.g. panic@1,panic@4=1,delay@2=50,io@3=checksum,skip@5,kill@6=5000,random@42=0.1\n\
          {}",
         bfbp_bench::cli::COMMON_USAGE
     );

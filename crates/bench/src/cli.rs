@@ -28,6 +28,11 @@ common flags:
   --resume PATH        restore from a journal, re-running only missing
                        or failed jobs (keeps appending to it unless
                        --journal names another file)
+  --checkpoint-every N snapshot each in-flight job's full state every N
+                       trace records (requires --checkpoint-dir)
+  --checkpoint-dir DIR directory for mid-job bfbp-ckpt/1 snapshots; a
+                       re-run pointed here resumes interrupted jobs
+                       mid-trace
   --metrics            collect per-job introspection metrics and H2P
   --metrics-out PATH   ... and write the bfbp-metrics/1 document here
   --events PATH        append the bfbp-events/1 span/event journal
@@ -64,6 +69,10 @@ pub struct CommonArgs {
     pub journal: Option<PathBuf>,
     /// `--resume PATH`.
     pub resume: Option<PathBuf>,
+    /// `--checkpoint-every N` (mid-job snapshot cadence in records).
+    pub checkpoint_every: Option<u64>,
+    /// `--checkpoint-dir DIR`.
+    pub checkpoint_dir: Option<PathBuf>,
     /// `--metrics` or `--metrics-out`.
     pub metrics: bool,
     /// `--metrics-out PATH` (where the binary writes the collected
@@ -112,6 +121,12 @@ impl CommonArgs {
             "--timeout" => self.timeout_ms = Some(number(args, arg, "milliseconds")?),
             "--journal" => self.journal = Some(value(args, arg, "a path")?.into()),
             "--resume" => self.resume = Some(value(args, arg, "a journal path")?.into()),
+            "--checkpoint-every" => {
+                self.checkpoint_every = Some(number(args, arg, "a record count")?);
+            }
+            "--checkpoint-dir" => {
+                self.checkpoint_dir = Some(value(args, arg, "a directory")?.into());
+            }
             "--metrics" => self.metrics = true,
             "--metrics-out" => {
                 self.metrics = true;
@@ -147,6 +162,12 @@ impl CommonArgs {
         }
         if let Some(path) = &self.journal {
             options.journal = Some(path.clone());
+        }
+        if let Some(every) = self.checkpoint_every {
+            options.checkpoint_every = every;
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            options.checkpoint_dir = Some(dir.clone());
         }
         if self.metrics {
             options.metrics = true;
@@ -195,6 +216,12 @@ impl CommonArgs {
         }
         if let Some(path) = &self.events {
             std::env::set_var("BFBP_SWEEP_EVENTS", path.as_os_str());
+        }
+        if let Some(every) = self.checkpoint_every {
+            std::env::set_var("BFBP_SWEEP_CKPT_EVERY", every.to_string());
+        }
+        if let Some(dir) = &self.checkpoint_dir {
+            std::env::set_var("BFBP_SWEEP_CKPT_DIR", dir.as_os_str());
         }
         Ok(())
     }
@@ -308,6 +335,28 @@ mod tests {
         assert_eq!(
             options.journal.as_deref(),
             Some(std::path::Path::new("j.jsonl"))
+        );
+    }
+
+    #[test]
+    fn checkpoint_flags_apply_to_options() {
+        let mut options = SweepOptions::default();
+        let (common, rest) =
+            consume_all(&["--checkpoint-every", "50000", "--checkpoint-dir", "ckpts"]).unwrap();
+        assert!(rest.is_empty());
+        common.apply_to(&mut options);
+        assert_eq!(options.checkpoint_every, 50_000);
+        assert_eq!(
+            options.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("ckpts"))
+        );
+        assert_eq!(
+            consume_all(&["--checkpoint-every", "soon"]).unwrap_err(),
+            "--checkpoint-every needs a record count"
+        );
+        assert_eq!(
+            consume_all(&["--checkpoint-dir"]).unwrap_err(),
+            "--checkpoint-dir needs a directory"
         );
     }
 

@@ -12,6 +12,7 @@
 //! up to 2048 branches of raw history compressed into ≈144 entries.
 
 use bfbp_predictors::history::mix64;
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 
 use crate::recency::{RecencyStack, RsOp};
 
@@ -406,6 +407,50 @@ impl BfGhr {
 impl Default for BfGhr {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Restorable for BfGhr {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The word/pxor caches are derived from the stacks, but they are
+        // serialized too: a restore then reproduces the exact in-memory
+        // state without re-deriving, and a mismatch (torn write) is
+        // caught by the size checks below rather than silently rebuilt.
+        w.u32_slice(&self.ring);
+        w.u64(self.now);
+        w.u64(self.commits);
+        w.u64(self.non_biased_commits);
+        w.usize(self.segments.len());
+        for seg in &self.segments {
+            seg.rs.save_state(w);
+            w.u64_slice(&seg.words);
+            w.u64_slice(&seg.pxor);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let ring = r.u32_vec()?;
+        if ring.len() != self.ring.len() {
+            return Err(CodecError::Malformed("bf-ghr ring size mismatch"));
+        }
+        self.ring = ring;
+        self.now = r.u64()?;
+        self.commits = r.u64()?;
+        self.non_biased_commits = r.u64()?;
+        if r.usize()? != self.segments.len() {
+            return Err(CodecError::Malformed("bf-ghr segment count mismatch"));
+        }
+        for seg in &mut self.segments {
+            seg.rs.load_state(r)?;
+            let words = r.u64_vec()?;
+            let pxor = r.u64_vec()?;
+            if words.len() != seg.rs.len() || pxor.len() != words.len() + 1 {
+                return Err(CodecError::Malformed("bf-ghr word cache mismatch"));
+            }
+            seg.words = words;
+            seg.pxor = pxor;
+        }
+        Ok(())
     }
 }
 

@@ -29,6 +29,7 @@ use std::collections::VecDeque;
 
 use bfbp_predictors::history::{mix64, BucketedFolds, GlobalHistory};
 use bfbp_predictors::loop_pred::LoopPredictor;
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
@@ -177,6 +178,49 @@ impl DeepHistory {
         match self {
             DeepHistory::Shift(q, _) => Box::new(q.iter()),
             DeepHistory::Stack(rs) => Box::new(rs.iter()),
+        }
+    }
+}
+
+impl Restorable for DeepHistory {
+    fn save_state(&self, w: &mut StateWriter) {
+        match self {
+            DeepHistory::Shift(q, _) => {
+                w.u8(0);
+                w.usize(q.len());
+                for e in q {
+                    w.u64(e.key);
+                    w.bool(e.outcome);
+                    w.u64(e.birth);
+                }
+            }
+            DeepHistory::Stack(rs) => {
+                w.u8(1);
+                rs.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, DeepHistory::Shift(q, cap)) => {
+                let count = r.usize()?;
+                if count > *cap {
+                    return Err(CodecError::Malformed("deep history over capacity"));
+                }
+                q.clear();
+                for _ in 0..count {
+                    q.push_back(RsEntry {
+                        key: r.u64()?,
+                        outcome: r.bool()?,
+                        birth: r.u64()?,
+                    });
+                }
+                Ok(())
+            }
+            (1, DeepHistory::Stack(rs)) => rs.load_state(r),
+            _ => Err(CodecError::Malformed("deep history mode mismatch")),
         }
     }
 }
@@ -552,6 +596,60 @@ impl ConditionalPredictor for BfNeural {
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         Some(self)
     }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for BfNeural {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `scratch` is per-prediction state fully rewritten by the next
+        // `predict` before `update` reads it, so it is not serialized.
+        // The loop predictor's presence is fixed by the configuration.
+        self.classifier.save_state(w);
+        w.i8_slice(&self.wb);
+        w.i8_slice(&self.wm);
+        w.i8_slice(&self.wrs);
+        self.unf_hist.save_state(w);
+        w.u64_slice(&self.unf_addrs);
+        w.usize(self.addr_head);
+        self.folds.save_state(w);
+        self.deep.save_state(w);
+        w.u64(self.now);
+        w.i32(self.theta);
+        w.i32(self.threshold_ctr);
+        if let Some(lp) = &self.loop_pred {
+            lp.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.classifier.load_state(r)?;
+        r.i8_into(&mut self.wb)?;
+        r.i8_into(&mut self.wm)?;
+        r.i8_into(&mut self.wrs)?;
+        self.unf_hist.load_state(r)?;
+        let unf_addrs = r.u64_vec()?;
+        if unf_addrs.len() != self.unf_addrs.len() {
+            return Err(CodecError::Malformed("address ring size mismatch"));
+        }
+        let addr_head = r.usize()?;
+        if addr_head >= unf_addrs.len() {
+            return Err(CodecError::Malformed("address head out of range"));
+        }
+        self.unf_addrs = unf_addrs;
+        self.addr_head = addr_head;
+        self.folds.load_state(r)?;
+        self.deep.load_state(r)?;
+        self.now = r.u64()?;
+        self.theta = r.i32()?;
+        self.threshold_ctr = r.i32()?;
+        if let Some(lp) = self.loop_pred.as_mut() {
+            lp.load_state(r)?;
+        }
+        Ok(())
+    }
 }
 
 impl PredictorIntrospect for BfNeural {
@@ -707,6 +805,33 @@ impl ConditionalPredictor for IdealBfNeural {
         s.push("Wb bias weights", self.wb.len() as u64 * 8);
         s.push("recency stack", self.stack.storage_bits());
         s
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for IdealBfNeural {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `theta` is fixed at construction (no adaptive threshold here);
+        // the `scratch_*` fields are per-prediction state.
+        self.classifier.save_state(w);
+        w.i8_slice(&self.wb);
+        w.i8_slice(&self.wm);
+        self.stack.save_state(w);
+        w.u64(self.now);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.classifier.load_state(r)?;
+        r.i8_into(&mut self.wb)?;
+        r.i8_into(&mut self.wm)?;
+        self.stack.load_state(r)?;
+        self.now = r.u64()?;
+        // A restore drops any in-flight prediction scratch.
+        self.scratch_used = false;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 //! history lengths {3, 8, 14, 26, 40, 54, 70, 94, 118, 142}.
 
 use bfbp_predictors::history::{mix64, PathHistory};
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
@@ -194,6 +195,28 @@ impl ConditionalPredictor for BfTage {
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         Some(self)
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for BfTage {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `history_lens` and the `*_scratch` buffers are configuration
+        // and per-prediction scratch respectively.
+        self.core.save_state(w);
+        self.ghr.save_state(w);
+        self.path.save_state(w);
+        self.classifier.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.core.load_state(r)?;
+        self.ghr.load_state(r)?;
+        self.path.load_state(r)?;
+        self.classifier.load_state(r)
     }
 }
 

@@ -16,6 +16,7 @@
 //! effect that hurts the paper's SERVER traces (§VI-D), reproduced here
 //! by construction.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::Metrics;
 use bfbp_trace::rng::Xoshiro256;
 
@@ -152,6 +153,25 @@ impl Bst {
             counts[e.min(S_NON_BIASED) as usize] += 1;
         }
         counts
+    }
+}
+
+impl Restorable for Bst {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.bytes(&self.entries);
+        w.u64(self.commits);
+        w.u64(self.known_commits);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let entries = r.bytes()?;
+        if entries.len() != self.entries.len() {
+            return Err(CodecError::Malformed("bst size mismatch"));
+        }
+        self.entries.copy_from_slice(entries);
+        self.commits = r.u64()?;
+        self.known_commits = r.u64()?;
+        Ok(())
     }
 }
 
@@ -311,6 +331,35 @@ impl ProbabilisticBst {
     }
 }
 
+impl Restorable for ProbabilisticBst {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The RNG stream participates in the FSM (confidence raises and
+        // reverts), so it must resume exactly where it left off.
+        w.bytes(&self.entries);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u64(self.commits);
+        w.u64(self.known_commits);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let entries = r.bytes()?;
+        if entries.len() != self.entries.len() {
+            return Err(CodecError::Malformed("probabilistic bst size mismatch"));
+        }
+        self.entries.copy_from_slice(entries);
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng.set_state(state);
+        self.commits = r.u64()?;
+        self.known_commits = r.u64()?;
+        Ok(())
+    }
+}
+
 /// Runtime-selectable bias classifier used by the BF predictors: the
 /// plain 2-bit BST, the probabilistic 3-bit BST, or a static profile
 /// (§VI-D's "static profile-assisted classification", see
@@ -379,6 +428,37 @@ impl Classifier {
         }
         if commits > 0 {
             metrics.gauge("bst.hit_rate", known as f64 / commits as f64);
+        }
+    }
+}
+
+impl Restorable for Classifier {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The variant is configuration; a one-byte discriminant guards
+        // against restoring into a differently configured classifier.
+        match self {
+            Classifier::TwoBit(b) => {
+                w.u8(0);
+                b.save_state(w);
+            }
+            Classifier::Probabilistic(b) => {
+                w.u8(1);
+                b.save_state(w);
+            }
+            Classifier::Static(p) => {
+                w.u8(2);
+                p.save_state(w);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Classifier::TwoBit(b)) => b.load_state(r),
+            (1, Classifier::Probabilistic(b)) => b.load_state(r),
+            (2, Classifier::Static(p)) => p.load_state(r),
+            _ => Err(CodecError::Malformed("classifier variant mismatch")),
         }
     }
 }

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_trace::record::Trace;
 use bfbp_trace::stats::BiasProfile;
 
@@ -89,6 +90,50 @@ impl StaticProfile {
     /// bits per entry a BST entry would cost.
     pub fn storage_bits(&self) -> u64 {
         self.statuses.len() as u64 * 2
+    }
+}
+
+impl Restorable for StaticProfile {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `commit` promotes unseen branches, so the map is mutable state,
+        // not pure configuration. Emit entries sorted by PC so identical
+        // profiles always serialize to identical bytes regardless of hash
+        // iteration order.
+        let mut entries: Vec<(u64, BranchStatus)> =
+            self.statuses.iter().map(|(&pc, &s)| (pc, s)).collect();
+        entries.sort_unstable_by_key(|&(pc, _)| pc);
+        w.usize(entries.len());
+        for (pc, status) in entries {
+            w.u64(pc);
+            w.u8(match status {
+                BranchStatus::NotFound => 0,
+                BranchStatus::Taken => 1,
+                BranchStatus::NotTaken => 2,
+                BranchStatus::NonBiased => 3,
+            });
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let count = r.usize()?;
+        // 9 bytes per entry; reject bogus counts before allocating.
+        if count.saturating_mul(9) > r.remaining() {
+            return Err(CodecError::Malformed("profile entry count too large"));
+        }
+        let mut statuses = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let pc = r.u64()?;
+            let status = match r.u8()? {
+                0 => BranchStatus::NotFound,
+                1 => BranchStatus::Taken,
+                2 => BranchStatus::NotTaken,
+                3 => BranchStatus::NonBiased,
+                _ => return Err(CodecError::Malformed("unknown branch status")),
+            };
+            statuses.insert(pc, status);
+        }
+        self.statuses = statuses;
+        Ok(())
     }
 }
 

@@ -9,6 +9,8 @@
 //! distance of that occurrence from the current branch — implemented as
 //! a birth timestamp against a global commit counter.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
+
 /// One recency-stack entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RsEntry {
@@ -163,6 +165,33 @@ impl RecencyStack {
     /// paper's Table I budgets RS entries at 16 bits.
     pub fn storage_bits(&self) -> u64 {
         self.capacity as u64 * 16
+    }
+}
+
+impl Restorable for RecencyStack {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.u64(e.key);
+            w.bool(e.outcome);
+            w.u64(e.birth);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let count = r.usize()?;
+        if count > self.capacity {
+            return Err(CodecError::Malformed("recency stack over capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..count {
+            self.entries.push(RsEntry {
+                key: r.u64()?,
+                outcome: r.bool()?,
+                birth: r.u64()?,
+            });
+        }
+        Ok(())
     }
 }
 

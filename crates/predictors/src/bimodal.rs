@@ -3,6 +3,7 @@
 //! The simplest dynamic predictor, used standalone as a baseline and as
 //! the tagless base component `T0` of TAGE (Figure 6 of the paper).
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -93,6 +94,20 @@ impl ConditionalPredictor for Bimodal {
         let mut s = StorageBreakdown::new();
         s.push("bimodal table", self.storage_bits());
         s
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for Bimodal {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.table.load_state(r)
     }
 }
 

@@ -1,5 +1,7 @@
 //! Saturating counters, the workhorse state element of branch predictors.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
+
 /// A signed saturating counter of configurable width.
 ///
 /// An `n`-bit signed counter covers `[-2^(n-1), 2^(n-1) - 1]`; its sign
@@ -183,6 +185,18 @@ impl CounterTable {
     /// Total storage in bits.
     pub fn storage_bits(&self) -> u64 {
         self.values.len() as u64 * u64::from(self.bits)
+    }
+}
+
+impl Restorable for CounterTable {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.i8_slice(&self.values);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        // `min`/`max`/`bits` are configuration; the length check inside
+        // `i8_into` rejects a checkpoint from a differently sized table.
+        r.i8_into(&mut self.values)
     }
 }
 

@@ -4,6 +4,7 @@
 //! learn non-linearly-separable correlations (e.g. XOR), at the cost of
 //! exponential pattern capacity.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -92,6 +93,22 @@ impl ConditionalPredictor for Gshare {
         s.push("pattern history table", self.table.storage_bits());
         s.push("global history register", self.hist_len as u64);
         s
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for Gshare {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w);
+        self.history.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.table.load_state(r)?;
+        self.history.load_state(r)
     }
 }
 

@@ -4,6 +4,8 @@
 //! that the neural predictors hash into their weight indices (§IV-A of
 //! the paper).
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
+
 /// A bounded global history of branch outcomes, newest first.
 ///
 /// Backed by a power-of-two ring of 64-bit words; `bit(0)` is the most
@@ -328,6 +330,91 @@ impl BucketedFolds {
 impl Default for BucketedFolds {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Restorable for GlobalHistory {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64_slice(&self.words);
+        w.usize(self.head);
+        w.usize(self.len);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let words = r.u64_vec()?;
+        if words.len() != self.words.len() {
+            return Err(CodecError::Malformed("history word count mismatch"));
+        }
+        let head = r.usize()?;
+        let len = r.usize()?;
+        if head >= self.capacity || len > self.capacity {
+            return Err(CodecError::Malformed("history cursor out of range"));
+        }
+        self.words = words;
+        self.head = head;
+        self.len = len;
+        Ok(())
+    }
+}
+
+impl Restorable for HistoryFold {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.comp);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let comp = r.u64()?;
+        if self.clen < 64 && comp >= (1u64 << self.clen) {
+            return Err(CodecError::Malformed("fold register out of range"));
+        }
+        self.comp = comp;
+        Ok(())
+    }
+}
+
+impl Restorable for ManagedHistory {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.history.save_state(w);
+        w.usize(self.folds.len());
+        for fold in &self.folds {
+            fold.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.history.load_state(r)?;
+        if r.usize()? != self.folds.len() {
+            return Err(CodecError::Malformed("fold count mismatch"));
+        }
+        for fold in &mut self.folds {
+            fold.load_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl Restorable for PathHistory {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.bits);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let bits = r.u64()?;
+        if self.len < 64 && bits >= (1u64 << self.len) {
+            return Err(CodecError::Malformed("path history out of range"));
+        }
+        self.bits = bits;
+        Ok(())
+    }
+}
+
+impl Restorable for BucketedFolds {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.inner.load_state(r)
     }
 }
 

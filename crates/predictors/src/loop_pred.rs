@@ -7,6 +7,7 @@
 //! ISL-TAGE and BF-Neural ("The LC predictor used in this work features
 //! only 64 entries and is 4-way skewed associative", §IV-B2).
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::history::mix64;
@@ -184,6 +185,39 @@ impl LoopPredictor {
             self.entries.len() as u64 * per_entry,
         );
         s
+    }
+}
+
+impl Restorable for LoopPredictor {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.u16(e.tag);
+            w.bool(e.valid);
+            w.bool(e.dir);
+            w.u32(e.past_iter);
+            w.u32(e.current_iter);
+            w.u8(e.conf);
+            w.u8(e.age);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        if r.usize()? != self.entries.len() {
+            return Err(CodecError::Malformed("loop table size mismatch"));
+        }
+        for e in &mut self.entries {
+            *e = LoopEntry {
+                tag: r.u16()?,
+                valid: r.bool()?,
+                dir: r.bool()?,
+                past_iter: r.u32()?,
+                current_iter: r.u32()?,
+                conf: r.u8()?,
+                age: r.u8()?,
+            };
+        }
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@
 //! one per global-history bit plus a bias weight. The prediction is the
 //! sign of the dot product of the weights with the ±1-encoded history.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
@@ -124,6 +125,24 @@ impl ConditionalPredictor for Perceptron {
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         Some(self)
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for Perceptron {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `theta` is a construction-time constant and `last_sum` is
+        // per-prediction scratch overwritten by the next `predict`.
+        w.i8_slice(&self.weights);
+        self.history.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        r.i8_into(&mut self.weights)?;
+        self.history.load_state(r)
     }
 }
 

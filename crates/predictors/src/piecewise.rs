@@ -7,6 +7,7 @@
 //! the sum. Optionally the hash is augmented with folded global history
 //! ("fhist", §IV-A), which reduces aliasing between different paths.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 
@@ -182,6 +183,40 @@ impl ConditionalPredictor for PiecewiseLinear {
             (self.config.history_len + self.addresses.len() * 14) as u64,
         );
         s
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for PiecewiseLinear {
+    fn save_state(&self, w: &mut StateWriter) {
+        // `theta` is fixed; `last_sum`/`last_indices` are per-prediction
+        // scratch rewritten by the next `predict` before any use.
+        w.i8_slice(&self.weights);
+        w.i8_slice(&self.bias);
+        self.history.save_state(w);
+        w.u64_slice(&self.addresses);
+        w.usize(self.addr_head);
+        self.folds.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        r.i8_into(&mut self.weights)?;
+        r.i8_into(&mut self.bias)?;
+        self.history.load_state(r)?;
+        let addresses = r.u64_vec()?;
+        if addresses.len() != self.addresses.len() {
+            return Err(CodecError::Malformed("address ring size mismatch"));
+        }
+        let addr_head = r.usize()?;
+        if addr_head >= addresses.len() {
+            return Err(CodecError::Malformed("address head out of range"));
+        }
+        self.addresses = addresses;
+        self.addr_head = addr_head;
+        self.folds.load_state(r)
     }
 }
 

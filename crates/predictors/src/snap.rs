@@ -15,6 +15,7 @@
 //! A local-history perceptron component (part of the SNAP family design)
 //! is fused into the sum, covering self-history-periodic branches.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
@@ -299,6 +300,67 @@ impl ConditionalPredictor for ScaledNeural {
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         Some(self)
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for ScaledNeural {
+    fn save_state(&self, w: &mut StateWriter) {
+        // Everything that outlives one prediction: weight tables, the
+        // coefficient-adaptation accumulators (agree/sampled), the
+        // adaptive threshold pair, and all history structures.
+        // `last_sum`/`last_indices`/`last_local_indices` are rewritten by
+        // the next `predict` before use.
+        w.i8_slice(&self.weights);
+        w.i8_slice(&self.bias);
+        w.i32_slice(&self.coeff);
+        w.u32_slice(&self.agree);
+        w.u64(self.sampled);
+        self.history.save_state(w);
+        w.u64_slice(&self.addresses);
+        w.usize(self.addr_head);
+        self.folds.save_state(w);
+        w.u32_slice(&self.local_hist);
+        w.i8_slice(&self.local_weights);
+        w.i32(self.theta);
+        w.i32(self.threshold_ctr);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        r.i8_into(&mut self.weights)?;
+        r.i8_into(&mut self.bias)?;
+        let coeff = r.i32_vec()?;
+        let agree = r.u32_vec()?;
+        if coeff.len() != self.coeff.len() || agree.len() != self.agree.len() {
+            return Err(CodecError::Malformed("coefficient table size mismatch"));
+        }
+        self.coeff = coeff;
+        self.agree = agree;
+        self.sampled = r.u64()?;
+        self.history.load_state(r)?;
+        let addresses = r.u64_vec()?;
+        if addresses.len() != self.addresses.len() {
+            return Err(CodecError::Malformed("address ring size mismatch"));
+        }
+        let addr_head = r.usize()?;
+        if addr_head >= addresses.len() {
+            return Err(CodecError::Malformed("address head out of range"));
+        }
+        self.addresses = addresses;
+        self.addr_head = addr_head;
+        self.folds.load_state(r)?;
+        let local_hist = r.u32_vec()?;
+        if local_hist.len() != self.local_hist.len() {
+            return Err(CodecError::Malformed("local history size mismatch"));
+        }
+        self.local_hist = local_hist;
+        r.i8_into(&mut self.local_weights)?;
+        self.theta = r.i32()?;
+        self.threshold_ctr = r.i32()?;
+        Ok(())
     }
 }
 

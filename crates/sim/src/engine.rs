@@ -28,7 +28,15 @@
 //!   file as they finish, and a later sweep with
 //!   [`SweepOptions::resume_from`] restores them and re-runs only the
 //!   missing or failed jobs;
-//! * a deterministic [`FaultPlan`] injects panics, delays, and
+//! * with [`SweepOptions::with_checkpoints`], every in-flight job
+//!   additionally snapshots its full predictor + accounting state to a
+//!   `bfbp-ckpt/1` file every N records, so a crash (or an injected
+//!   [`Fault::Kill`]) mid-job loses at most one checkpoint interval:
+//!   the next run restores the snapshot, replays only the tail, and
+//!   produces **byte-identical** result documents to an uninterrupted
+//!   run, while a torn, stale, or mismatched checkpoint is quarantined
+//!   and the job simply re-runs from zero;
+//! * a deterministic [`FaultPlan`] injects panics, delays, kills, and
 //!   trace-format failures into chosen jobs so every one of these paths
 //!   is exercised by tests.
 //!
@@ -53,11 +61,12 @@
 //! assert!(report.is_fully_ok());
 //! ```
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -68,9 +77,11 @@ use bfbp_trace::record::{BranchRecord, Trace};
 use bfbp_trace::source::{FileSource, TraceChunk, TraceSource};
 use bfbp_trace::synth::suite::TraceSpec;
 
+use crate::ckpt::{self, JobCheckpoint, Restorable, SimCheckpoint, StateReader, StateWriter};
 use crate::fault::{Fault, FaultPlan};
 use crate::journal::{self, Journal, JournalError};
-use crate::obs::{self, Event, EventJournal, JobObs, Progress};
+use crate::obs::{self, Event, EventJournal, H2pTable, JobObs, Progress};
+use crate::predictor::ConditionalPredictor;
 use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
 use crate::runner::SuiteRunner;
 use crate::simulate::{mean_mpki, IntervalPoint, SimResult, Simulation, SimulationError};
@@ -128,6 +139,15 @@ pub struct SweepOptions {
     /// jobs are re-run. Point [`SweepOptions::journal`] at the same file
     /// to keep checkpointing the resumed run.
     pub resume_from: Option<PathBuf>,
+    /// Mid-job checkpoint cadence in trace records; `0` disables
+    /// mid-job checkpointing. Takes effect only together with
+    /// [`SweepOptions::checkpoint_dir`].
+    pub checkpoint_every: u64,
+    /// Directory mid-job `bfbp-ckpt/1` snapshots are written to (one
+    /// `job-<index>.ckpt` per in-flight job, deleted on success). A
+    /// later sweep of the same matrix pointed at the same directory
+    /// resumes each interrupted job from its snapshot.
+    pub checkpoint_dir: Option<PathBuf>,
     /// Collect per-job observability: predictor introspection metrics
     /// and the per-branch H2P attribution table. Never perturbs the
     /// `bfbp-sweep/2` results document.
@@ -157,6 +177,8 @@ impl SweepOptions {
             fault_plan: None,
             journal: None,
             resume_from: None,
+            checkpoint_every: 0,
+            checkpoint_dir: None,
             metrics: false,
             events: None,
             progress: false,
@@ -210,6 +232,17 @@ impl SweepOptions {
         self
     }
 
+    /// Enables mid-job checkpointing: every `every` records each
+    /// in-flight job snapshots its predictor, accounting, and observer
+    /// state to `<dir>/job-<index>.ckpt`, and a later sweep of the same
+    /// matrix with the same directory resumes from the snapshot instead
+    /// of starting the job over.
+    pub fn with_checkpoints(mut self, every: u64, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Enables per-job metrics/H2P collection.
     pub fn with_metrics(mut self) -> Self {
         self.metrics = true;
@@ -232,8 +265,10 @@ impl SweepOptions {
     /// `BFBP_SWEEP_RETRIES` (extra attempts after the first),
     /// `BFBP_SWEEP_BACKOFF_MS`, `BFBP_SWEEP_TIMEOUT_MS`,
     /// `BFBP_SWEEP_METRICS` (any value except `0`/empty enables
-    /// metrics/H2P collection), and `BFBP_SWEEP_EVENTS` (event-journal
-    /// path). Unset or malformed variables leave the defaults untouched.
+    /// metrics/H2P collection), `BFBP_SWEEP_EVENTS` (event-journal
+    /// path), and `BFBP_SWEEP_CKPT_EVERY` / `BFBP_SWEEP_CKPT_DIR`
+    /// (mid-job checkpoint cadence and directory). Unset or malformed
+    /// variables leave the defaults untouched.
     pub fn from_env() -> Self {
         Self::from_env_with(|name| std::env::var(name).ok())
     }
@@ -260,6 +295,12 @@ impl SweepOptions {
         }
         if let Some(path) = lookup("BFBP_SWEEP_EVENTS").filter(|p| !p.is_empty()) {
             options.events = Some(PathBuf::from(path));
+        }
+        if let Some(every) = num("BFBP_SWEEP_CKPT_EVERY") {
+            options.checkpoint_every = every;
+        }
+        if let Some(dir) = lookup("BFBP_SWEEP_CKPT_DIR").filter(|p| !p.is_empty()) {
+            options.checkpoint_dir = Some(PathBuf::from(dir));
         }
         options
     }
@@ -332,6 +373,11 @@ pub enum JobStatus {
     TimedOut,
     /// The job was never attempted (fault plan or operator decision).
     Skipped,
+    /// An injected [`Fault::Kill`] cut the job off mid-run, modeling a
+    /// process death (SIGKILL, OOM, power loss). Never retried and
+    /// never journaled — like a real crash, the only thing a resumed
+    /// sweep can see is the mid-job checkpoint left on disk.
+    Killed,
 }
 
 impl JobStatus {
@@ -342,6 +388,7 @@ impl JobStatus {
             JobStatus::Failed { .. } => "failed",
             JobStatus::TimedOut => "timed_out",
             JobStatus::Skipped => "skipped",
+            JobStatus::Killed => "killed",
         }
     }
 }
@@ -400,6 +447,8 @@ pub struct RunSummary {
     pub timed_out: usize,
     /// Jobs never attempted.
     pub skipped: usize,
+    /// Jobs cut off mid-run by an injected kill fault.
+    pub killed: usize,
     /// Of the ok jobs, how many were restored from a resume journal.
     pub resumed: usize,
 }
@@ -450,8 +499,9 @@ impl StreamedTrace {
 
     /// Prefer chunk-decoding this BFBT file (typically a
     /// [`bfbp_trace::cache::TraceCache`] entry) over regenerating; a
-    /// missing or corrupt file falls back to synthesis, reported as a
-    /// [`CacheStatus::Generated`] fetch in the event journal.
+    /// missing file falls back to synthesis reported as a
+    /// [`CacheStatus::Generated`] fetch, a present-but-corrupt one as
+    /// [`CacheStatus::Regenerated`].
     pub fn with_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.file = Some(path.into());
         self
@@ -469,21 +519,25 @@ impl StreamedTrace {
 
     /// Opens a fresh source positioned at the first record, with the
     /// cache accounting of the open: `Hit` when the backing file
-    /// validated and will be decoded, `Generated` when a file was
-    /// configured but is missing or corrupt (the quarantine-and-
+    /// validated and will be decoded, `Generated` when a configured
+    /// file is simply missing, `Regenerated` when the file exists but
+    /// fails validation (torn or corrupt — the quarantine-and-
     /// regenerate path [`bfbp_trace::cache::TraceCache::fetch`] takes),
     /// `Bypassed` when no file was ever attached.
     fn open_source(&self) -> (Box<dyn TraceSource>, CacheStatus) {
         if let Some(path) = &self.file {
+            let existed = path.exists();
             if self.validate_file(path) {
                 if let Ok(source) = FileSource::open(path) {
                     return (Box::new(source), CacheStatus::Hit);
                 }
             }
-            return (
-                Box::new(self.spec.stream_len(self.n_records)),
-                CacheStatus::Generated,
-            );
+            let status = if existed {
+                CacheStatus::Regenerated
+            } else {
+                CacheStatus::Generated
+            };
+            return (Box::new(self.spec.stream_len(self.n_records)), status);
         }
         (
             Box::new(self.spec.stream_len(self.n_records)),
@@ -661,6 +715,7 @@ impl SweepReport {
                 JobStatus::Failed { .. } => summary.failed += 1,
                 JobStatus::TimedOut => summary.timed_out += 1,
                 JobStatus::Skipped => summary.skipped += 1,
+                JobStatus::Killed => summary.killed += 1,
             }
         }
         summary
@@ -771,7 +826,7 @@ impl SweepReport {
                         out.push_str(&format!(", \"attempts\": {}, \"error\": ", job.attempts));
                         out.push_str(&json_string(error));
                     }
-                    JobStatus::TimedOut | JobStatus::Skipped => {}
+                    JobStatus::TimedOut | JobStatus::Skipped | JobStatus::Killed => {}
                 }
                 out.push('}');
                 out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -786,8 +841,9 @@ impl SweepReport {
         out.push_str("  ],\n");
         let summary = self.summary();
         out.push_str(&format!(
-            "  \"summary\": {{\"jobs\": {}, \"ok\": {}, \"failed\": {}, \"timed_out\": {}, \"skipped\": {}}}",
-            summary.jobs, summary.ok, summary.failed, summary.timed_out, summary.skipped
+            "  \"summary\": {{\"jobs\": {}, \"ok\": {}, \"failed\": {}, \"timed_out\": {}, \"skipped\": {}, \"killed\": {}}}",
+            summary.jobs, summary.ok, summary.failed, summary.timed_out, summary.skipped,
+            summary.killed
         ));
         if with_timing {
             let t = self.trace_names.len();
@@ -991,6 +1047,16 @@ enum AttemptError {
     Failed(String),
     /// The cancellation signal fired; never retried.
     Cancelled,
+    /// An injected [`Fault::Kill`] ended the attempt after this many
+    /// records, simulating a process death; never retried.
+    Killed(u64),
+}
+
+/// A trace input opened for one attempt: the shared in-memory trace, or
+/// this attempt's private streaming source.
+enum OpenedInput<'a> {
+    Ready(&'a Trace),
+    Source(Box<dyn TraceSource>),
 }
 
 /// What one executed job leaves behind: its terminal outcome plus the
@@ -1008,6 +1074,13 @@ struct SweepContext<'a> {
     retry: RetryPolicy,
     faults: BTreeMap<usize, Fault>,
     journal: Option<Journal>,
+    /// Matrix fingerprint, stamped into (and checked against) every
+    /// mid-job checkpoint.
+    matrix: u64,
+    /// Mid-job checkpoint cadence in records; `0` disables.
+    checkpoint_every: u64,
+    /// Directory mid-job checkpoints live in.
+    checkpoint_dir: Option<PathBuf>,
     /// Collect per-job introspection metrics and H2P attribution.
     collect_metrics: bool,
     /// Span/event journal shared by all workers (internally locked).
@@ -1030,39 +1103,93 @@ impl SweepContext<'_> {
             .str("trace", self.inputs[job % self.n_traces].name())
     }
 
-    /// Runs a configured [`Simulation`] against whatever form the trace
-    /// input takes. `Unavailable` is rejected in `run_job_inner` before
-    /// any attempt starts, so reaching it here is an engine bug.
-    ///
-    /// A file-backed streamed input reports its per-job open through the
-    /// same `trace_cache` event the materializing
-    /// [`SuiteRunner::from_specs_cached`] path emits, so a corrupt cache
-    /// entry that quarantines into regeneration shows up in the journal
-    /// as a `generated` fetch instead of passing silently.
-    fn drive<P: crate::predictor::ConditionalPredictor + ?Sized>(
-        &self,
-        sim: Simulation<'_, P>,
-        input: &TraceInput,
-    ) -> Result<(SimResult, Vec<IntervalPoint>), SimulationError> {
-        match input {
-            TraceInput::Ready(trace) => sim.run_trace(trace),
-            TraceInput::Streamed(streamed) => {
-                let (mut source, status) = streamed.open_source();
-                if streamed.file.is_some() {
-                    self.emit(
-                        Event::new("trace_cache")
-                            .str("trace", streamed.name())
-                            .num("records", streamed.n_records() as u64)
-                            .str("status", status.name())
-                            .num("generated", u64::from(status.generated())),
-                    );
-                }
-                sim.run(&mut *source)
-            }
-            TraceInput::Unavailable { name, .. } => {
-                unreachable!("unavailable trace {name:?} reached the simulation loop")
-            }
+    /// The on-disk path job `job`'s mid-job checkpoint lives at, when
+    /// mid-job checkpointing is configured.
+    fn ckpt_path(&self, job: usize) -> Option<PathBuf> {
+        if self.checkpoint_every == 0 {
+            return None;
         }
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("job-{job}.ckpt")))
+    }
+
+    /// Reads, validates, and applies the mid-job checkpoint at `path`:
+    /// the predictor state is loaded in place and the observer table
+    /// (when metrics are on) is returned alongside the accounting
+    /// snapshot to resume from. Any problem — unreadable file, wrong
+    /// matrix/job/predictor/trace, a snapshot beyond the end of the
+    /// trace, or undecodable state — returns the reason instead, in
+    /// which case the predictor may hold partially loaded state and
+    /// must be rebuilt by the caller.
+    fn restore_ckpt(
+        &self,
+        job: usize,
+        path: &Path,
+        trace_name: &str,
+        total_records: u64,
+        predictor: &mut dyn ConditionalPredictor,
+    ) -> Result<(SimCheckpoint, Option<H2pTable>), String> {
+        let spec = &self.specs[job / self.n_traces];
+        let loaded = JobCheckpoint::read_from(path).map_err(|e| format!("unreadable: {e}"))?;
+        if loaded.matrix_id != self.matrix {
+            return Err(format!(
+                "matrix mismatch: checkpoint {:#018x}, sweep {:#018x}",
+                loaded.matrix_id, self.matrix
+            ));
+        }
+        if loaded.job_index != job as u64 {
+            return Err(format!(
+                "job mismatch: checkpoint {}, expected {job}",
+                loaded.job_index
+            ));
+        }
+        if loaded.predictor != spec.label() {
+            return Err(format!(
+                "predictor mismatch: checkpoint {:?}, expected {:?}",
+                loaded.predictor,
+                spec.label()
+            ));
+        }
+        if loaded.trace != trace_name {
+            return Err(format!(
+                "trace mismatch: checkpoint {:?}, expected {trace_name:?}",
+                loaded.trace
+            ));
+        }
+        if loaded.sim.records > total_records {
+            return Err(format!(
+                "snapshot at record {} lies beyond the {total_records}-record trace",
+                loaded.sim.records
+            ));
+        }
+        let restorable = predictor
+            .checkpointing()
+            .ok_or_else(|| "predictor has no checkpoint capability".to_owned())?;
+        let mut reader = StateReader::new(&loaded.sim.predictor);
+        restorable
+            .load_state(&mut reader)
+            .map_err(|e| format!("predictor state: {e}"))?;
+        reader
+            .finish()
+            .map_err(|e| format!("predictor state: {e}"))?;
+        let h2p = if self.collect_metrics {
+            if loaded.observer.is_empty() {
+                return Err("no observer state, but metrics collection is on".to_owned());
+            }
+            let mut table = H2pTable::default();
+            let mut reader = StateReader::new(&loaded.observer);
+            table
+                .load_state(&mut reader)
+                .map_err(|e| format!("observer state: {e}"))?;
+            reader
+                .finish()
+                .map_err(|e| format!("observer state: {e}"))?;
+            Some(table)
+        } else {
+            None
+        };
+        Ok((loaded.sim, h2p))
     }
 
     fn run_attempt(
@@ -1090,7 +1217,12 @@ impl SweepContext<'_> {
             }
             _ => {}
         }
+        let kill_after = match fault {
+            Some(Fault::Kill { record }) => Some(*record),
+            _ => None,
+        };
         let spec = &self.specs[job / self.n_traces];
+        let ckpt_path = self.ckpt_path(job);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(Fault::Panic { first_attempts }) = fault {
                 if attempt <= *first_attempts {
@@ -1101,38 +1233,171 @@ impl SweepContext<'_> {
                 .registry
                 .build_spec(spec)
                 .map_err(|e| AttemptError::Failed(format!("predictor build failed: {e}")))?;
-            let mut obs = self.collect_metrics.then(|| Box::new(JobObs::default()));
-            let mut cancelled = || cancel.cancelled();
-            // Both arms drive the same chunked loop; the observed arm
-            // additionally feeds the H2P table. Ready traces replay in
-            // place, streamed traces open a fresh per-job source —
-            // either way the record sequence, and therefore the result
-            // document, is identical.
-            let sim = match &mut obs {
-                Some(obs) => {
-                    let mut observe =
-                        |pc, taken, mispredicted| obs.h2p.record(pc, taken, mispredicted);
-                    self.drive(
-                        Simulation::new(predictor.as_mut())
-                            .intervals(self.interval_insts)
-                            .cancel(&mut cancelled)
-                            .observer(&mut observe),
-                        input,
+            // The input is opened before the simulation closures are
+            // built so the cache accounting of the open is known up
+            // front (event line + per-job metrics counter). Ready
+            // traces replay in place, streamed traces open a fresh
+            // per-job source — either way the record sequence, and
+            // therefore the result document, is identical.
+            let (mut opened, total_records, regenerated) = match input {
+                TraceInput::Ready(trace) => (
+                    OpenedInput::Ready(trace.as_ref()),
+                    trace.len() as u64,
+                    false,
+                ),
+                TraceInput::Streamed(streamed) => {
+                    let (source, status) = streamed.open_source();
+                    if streamed.file.is_some() {
+                        self.emit(
+                            Event::new("trace_cache")
+                                .str("trace", streamed.name())
+                                .num("records", streamed.n_records() as u64)
+                                .str("status", status.name())
+                                .num("generated", u64::from(status.generated())),
+                        );
+                    }
+                    (
+                        OpenedInput::Source(source),
+                        streamed.n_records() as u64,
+                        status == CacheStatus::Regenerated,
                     )
                 }
-                None => self.drive(
-                    Simulation::new(predictor.as_mut())
-                        .intervals(self.interval_insts)
-                        .cancel(&mut cancelled),
-                    input,
-                ),
+                // `Unavailable` is rejected in `run_job_inner` before
+                // any attempt starts, so reaching it here is an engine
+                // bug.
+                TraceInput::Unavailable { name, .. } => {
+                    unreachable!("unavailable trace {name:?} reached the simulation loop")
+                }
             };
-            let (result, intervals) = sim.map_err(|e| match e {
+            // Mid-job resume: a valid snapshot restores the predictor,
+            // the accounting, and the observer; anything wrong with the
+            // file quarantines it and the job runs from zero instead —
+            // degraded, never wrong.
+            let mut resume: Option<SimCheckpoint> = None;
+            let mut restored_h2p: Option<H2pTable> = None;
+            if let Some(path) = ckpt_path.as_ref().filter(|p| p.exists()) {
+                match self.restore_ckpt(job, path, input.name(), total_records, predictor.as_mut())
+                {
+                    Ok((snapshot, h2p)) => {
+                        self.emit(
+                            Event::new("ckpt_restore")
+                                .num("job", job as u64)
+                                .num("attempt", u64::from(attempt))
+                                .num("records", snapshot.records),
+                        );
+                        resume = Some(snapshot);
+                        restored_h2p = h2p;
+                    }
+                    Err(reason) => {
+                        let mut event = Event::new("ckpt_quarantined")
+                            .num("job", job as u64)
+                            .str("error", &reason);
+                        if let Some(target) = ckpt::quarantine_ckpt(path) {
+                            event = event.str("file", &target.display().to_string());
+                        }
+                        self.emit(event);
+                        // A failed restore can leave partially loaded
+                        // predictor state behind.
+                        predictor = self.registry.build_spec(spec).map_err(|e| {
+                            AttemptError::Failed(format!("predictor build failed: {e}"))
+                        })?;
+                    }
+                }
+            }
+            // Shared by the observer closure and the checkpoint sink —
+            // closure captures cannot split a borrow through the Box.
+            let obs = RefCell::new(self.collect_metrics.then(|| Box::new(JobObs::default())));
+            if let Some(obs) = obs.borrow_mut().as_mut() {
+                if let Some(h2p) = restored_h2p {
+                    obs.h2p = h2p;
+                }
+                if regenerated {
+                    obs.metrics.incr("trace_cache.regenerated", 1);
+                }
+            }
+            let mut cancelled = || cancel.cancelled();
+            let mut observe = |pc: u64, taken: bool, mispredicted: bool| {
+                if let Some(obs) = obs.borrow_mut().as_mut() {
+                    obs.h2p.record(pc, taken, mispredicted);
+                }
+            };
+            let mut save = |snapshot: SimCheckpoint| {
+                let Some(path) = ckpt_path.as_deref() else {
+                    return;
+                };
+                let observer = match obs.borrow().as_deref() {
+                    Some(o) => {
+                        let mut w = StateWriter::new();
+                        o.h2p.save_state(&mut w);
+                        w.into_bytes()
+                    }
+                    None => Vec::new(),
+                };
+                let records = snapshot.records;
+                let file = JobCheckpoint {
+                    matrix_id: self.matrix,
+                    job_index: job as u64,
+                    predictor: spec.label(),
+                    trace: input.name().to_owned(),
+                    sim: snapshot,
+                    observer,
+                };
+                match file.write_to(path) {
+                    Ok(()) => {
+                        self.emit(
+                            Event::new("ckpt_write")
+                                .num("job", job as u64)
+                                .num("records", records),
+                        );
+                        if let Some(journal) = &self.journal {
+                            if let Err(e) = journal.record_ckpt(job, records, path) {
+                                eprintln!("warning: checkpoint journal write failed: {e}");
+                            }
+                        }
+                    }
+                    // "No checkpoint taken": the previous snapshot, if
+                    // any, stays valid.
+                    Err(e) => {
+                        eprintln!("warning: cannot write checkpoint {}: {e}", path.display())
+                    }
+                }
+            };
+            let mut sim = Simulation::new(predictor.as_mut())
+                .intervals(self.interval_insts)
+                .cancel(&mut cancelled);
+            if self.collect_metrics {
+                sim = sim.observer(&mut observe);
+            }
+            if ckpt_path.is_some() {
+                sim = sim.checkpoint_every(self.checkpoint_every, &mut save);
+            }
+            if let Some(records) = kill_after {
+                sim = sim.kill_after(records);
+            }
+            if let Some(snapshot) = resume {
+                sim = sim.resume_from(snapshot);
+            }
+            let driven = match &mut opened {
+                OpenedInput::Ready(trace) => sim.run_trace(trace),
+                OpenedInput::Source(source) => sim.run(source.as_mut()),
+            };
+            let (result, intervals) = driven.map_err(|e| match e {
                 SimulationError::Aborted => AttemptError::Cancelled,
                 SimulationError::Source(err) => {
                     AttemptError::Failed(format!("trace stream failed: {err}"))
                 }
+                SimulationError::Killed(records) => AttemptError::Killed(records),
+                SimulationError::Resume(msg) => {
+                    AttemptError::Failed(format!("checkpoint resume failed: {msg}"))
+                }
             })?;
+            let mut obs = obs.into_inner();
+            // A finished job's mid-job snapshot is spent; left behind it
+            // would resume a future sweep of the same matrix from a
+            // stale mid-point of an already-complete job.
+            if let Some(path) = &ckpt_path {
+                let _ = std::fs::remove_file(path);
+            }
             if let Some(obs) = &mut obs {
                 obs.metrics
                     .counter("sim.instructions", result.instructions());
@@ -1190,7 +1455,7 @@ impl SweepContext<'_> {
         match &outcome.status {
             JobStatus::Ok(record) => close = close.float("mpki", record.result.mpki()),
             JobStatus::Failed { error } => close = close.str("error", error),
-            JobStatus::TimedOut | JobStatus::Skipped => {}
+            JobStatus::TimedOut | JobStatus::Skipped | JobStatus::Killed => {}
         }
         self.emit(close);
         (outcome, obs)
@@ -1259,6 +1524,26 @@ impl SweepContext<'_> {
                         None,
                     );
                 }
+                Err(AttemptError::Killed(records)) => {
+                    // The simulated process death: no retry, and the
+                    // caller's journal checkpoint is suppressed too —
+                    // a real SIGKILL leaves only the mid-job snapshot
+                    // on disk for the next run to find.
+                    self.emit(
+                        Event::new("killed")
+                            .num("job", job as u64)
+                            .num("attempt", u64::from(attempt))
+                            .num("records", records),
+                    );
+                    return (
+                        JobOutcome {
+                            status: JobStatus::Killed,
+                            attempts: attempt,
+                            wall: job_start.elapsed(),
+                        },
+                        None,
+                    );
+                }
                 Err(AttemptError::Failed(error)) => {
                     if attempt < max_attempts {
                         self.emit(
@@ -1304,6 +1589,12 @@ impl SweepContext<'_> {
     /// Journals a completed job; journal write failures degrade to a
     /// warning (the sweep's in-memory results are unaffected).
     fn checkpoint(&self, job: usize, outcome: &JobOutcome) {
+        // A killed job models a process death: a real SIGKILL would
+        // never reach the journal, so the simulated one must not
+        // either — the next run should see only the mid-job snapshot.
+        if matches!(outcome.status, JobStatus::Killed) {
+            return;
+        }
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.record(job, outcome) {
                 eprintln!("warning: sweep checkpoint write failed: {e}");
@@ -1419,6 +1710,9 @@ pub fn sweep_inputs(
             .map(|plan| plan.materialized(n_jobs))
             .unwrap_or_default(),
         journal: journal_handle,
+        matrix,
+        checkpoint_every: options.checkpoint_every,
+        checkpoint_dir: options.checkpoint_dir.clone(),
         collect_metrics: options.metrics,
         events,
         progress: options.progress.then(|| Progress::new(pending.len())),
@@ -1553,6 +1847,7 @@ pub fn sweep_inputs(
             .num("failed", summary.failed as u64)
             .num("timed_out", summary.timed_out as u64)
             .num("skipped", summary.skipped as u64)
+            .num("killed", summary.killed as u64)
             .float("wall_ms", report.wall.as_secs_f64() * 1e3),
     );
     if let Some(progress) = &context.progress {

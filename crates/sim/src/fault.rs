@@ -52,6 +52,15 @@ pub enum Fault {
     },
     /// The job is never attempted and reports status `skipped`.
     Skip,
+    /// Kills the simulation at the first chunk boundary at or after
+    /// `record` processed records, mimicking a SIGKILL mid-job: the job
+    /// reports status `killed`, is never retried, and writes no terminal
+    /// journal entry — a resumed sweep re-runs it from its last mid-job
+    /// checkpoint (if any) exactly like a genuinely crashed process.
+    Kill {
+        /// Record boundary at which the simulated process death fires.
+        record: u64,
+    },
 }
 
 /// Seeded random fault placement: each job draws independently.
@@ -140,6 +149,13 @@ impl FaultPlan {
         self
     }
 
+    /// Kills `job` (simulated SIGKILL) once `record` records have been
+    /// processed.
+    pub fn kill_at(mut self, job: usize, record: u64) -> Self {
+        self.faults.insert(job, Fault::Kill { record });
+        self
+    }
+
     /// Adds a seeded random layer: each job is independently faulted
     /// with probability `rate` (clamped to `[0, 1]`), the kind drawn
     /// uniformly from panic / 25 ms delay / checksum trace error.
@@ -191,6 +207,7 @@ impl FaultPlan {
     ///   `bad-magic`, `bad-version`, `bad-varint`, `checksum`, `count`,
     ///   `bad-kind`, `bad-name`; default `checksum`),
     /// * `skip@JOB` — never attempt the job,
+    /// * `kill@JOB=RECORD` — simulated SIGKILL after `RECORD` records,
     /// * `random@SEED=RATE` — seeded random layer.
     ///
     /// # Errors
@@ -237,6 +254,12 @@ impl FaultPlan {
                     plan.trace_error_at(index("io")?, kind)
                 }
                 "skip" => plan.skip_at(index("skip")?),
+                "kill" => {
+                    let record = arg
+                        .and_then(|a| a.parse::<u64>().ok())
+                        .ok_or_else(|| parse_err(format!("{entry:?} needs =RECORD")))?;
+                    plan.kill_at(index("kill")?, record)
+                }
                 "random" => {
                     let seed = target.parse::<u64>().map_err(|_| {
                         parse_err(format!("random seed in {entry:?} must be a u64"))
@@ -259,8 +282,10 @@ mod tests {
 
     #[test]
     fn parse_covers_every_kind() {
-        let plan =
-            FaultPlan::parse("panic@0,panic@1=2,delay@2=100,io@3,io@4=bad-magic,skip@5").unwrap();
+        let plan = FaultPlan::parse(
+            "panic@0,panic@1=2,delay@2=100,io@3,io@4=bad-magic,skip@5,kill@6=5000",
+        )
+        .unwrap();
         let faults = plan.materialized(8);
         assert_eq!(
             faults.get(&0),
@@ -283,7 +308,8 @@ mod tests {
             })
         );
         assert_eq!(faults.get(&5), Some(&Fault::Skip));
-        assert_eq!(faults.get(&6), None);
+        assert_eq!(faults.get(&6), Some(&Fault::Kill { record: 5000 }));
+        assert_eq!(faults.get(&7), None);
     }
 
     #[test]
@@ -294,6 +320,8 @@ mod tests {
             "delay@1",
             "delay@1=fast",
             "io@1=meteor",
+            "kill@1",
+            "kill@1=soon",
             "random@1",
             "warp@1",
         ] {

@@ -9,18 +9,30 @@
 //! every earlier record stays usable).
 //!
 //! ```text
-//! bfbp-journal/1 matrix=<16-hex FNV of the job matrix> jobs=<n>
+//! bfbp-journal/2 matrix=<16-hex FNV of the job matrix> jobs=<n>
 //! ok <job> attempts=<n> wall_us=<n> trace=<esc> predictor=<esc> cond=<n> misp=<n> insts=<n> intervals=<i:c:m,...|->
 //! failed <job> attempts=<n> error=<esc>
 //! timed_out <job> attempts=<n>
+//! killed <job> attempts=<n>
 //! skipped <job>
+//! ckpt <job> records=<n> file=<esc>
 //! ```
 //!
 //! The `matrix` field fingerprints the (spec × trace × interval) matrix;
 //! [`Journal::load`] refuses to resume a journal recorded for a
 //! different matrix, because job indices would silently point at
 //! different work. Only `ok` records are restored on resume — failed,
-//! timed-out, and skipped jobs are re-run.
+//! timed-out, killed, and skipped jobs are re-run.
+//!
+//! `bfbp-journal/2` adds two line kinds over `/1`: `ckpt` references the
+//! latest mid-job `bfbp-ckpt/1` snapshot file written for a still-running
+//! job (so an operator can see where a crashed campaign would resume
+//! from), and `killed` records a fault-injected simulated process death.
+//! The engine never writes `killed` in practice — a killed job
+//! deliberately leaves **no** terminal entry, exactly like a real
+//! SIGKILL — but the codec is total over [`JobStatus`] so round-trips
+//! stay lossless. [`Journal::load`] accepts `/1` journals unchanged
+//! (they simply contain neither new line kind).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -34,7 +46,11 @@ use crate::engine::{JobOutcome, JobRecord, JobStatus, SeriesInfo};
 use crate::simulate::{IntervalPoint, SimResult};
 
 /// Journal format identifier (first token of the header line).
-pub const JOURNAL_SCHEMA: &str = "bfbp-journal/1";
+pub const JOURNAL_SCHEMA: &str = "bfbp-journal/2";
+
+/// The previous journal format, still accepted by [`Journal::load`]: a
+/// strict subset of `/2` (no `ckpt` or `killed` lines).
+pub const LEGACY_JOURNAL_SCHEMA: &str = "bfbp-journal/1";
 
 /// Why a journal could not be written, read, or matched to a sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -192,8 +208,17 @@ pub fn render_entry(job: usize, outcome: &JobOutcome) -> String {
             escape(error)
         ),
         JobStatus::TimedOut => format!("timed_out {job} attempts={}", outcome.attempts),
+        JobStatus::Killed => format!("killed {job} attempts={}", outcome.attempts),
         JobStatus::Skipped => format!("skipped {job}"),
     }
+}
+
+/// Renders a mid-job checkpoint reference line (without the newline).
+pub fn render_ckpt_ref(job: usize, records: u64, file: &Path) -> String {
+    format!(
+        "ckpt {job} records={records} file={}",
+        escape(&file.display().to_string())
+    )
 }
 
 fn field<'a>(token: Option<&'a str>, key: &str, line: usize) -> Result<&'a str, JournalError> {
@@ -289,6 +314,14 @@ pub fn parse_entry(text: &str, line: usize) -> Result<(usize, JobOutcome), Journ
                 wall: Duration::ZERO,
             }
         }
+        "killed" => {
+            let attempts = number(field(tokens.next(), "attempts", line)?, "attempts", line)?;
+            JobOutcome {
+                status: JobStatus::Killed,
+                attempts,
+                wall: Duration::ZERO,
+            }
+        }
         "skipped" => JobOutcome {
             status: JobStatus::Skipped,
             attempts: 0,
@@ -304,6 +337,38 @@ pub fn parse_entry(text: &str, line: usize) -> Result<(usize, JobOutcome), Journ
     Ok((job, outcome))
 }
 
+/// Parses one `ckpt` reference line produced by [`render_ckpt_ref`].
+pub fn parse_ckpt_ref(text: &str, line: usize) -> Result<(usize, CkptRef), JournalError> {
+    let mut tokens = text.split(' ');
+    let keyword = tokens.next().unwrap_or_default();
+    if keyword != "ckpt" {
+        return Err(JournalError::Parse {
+            line,
+            reason: format!("not a ckpt line: {keyword:?}"),
+        });
+    }
+    let job: usize = number(
+        tokens.next().ok_or(JournalError::Parse {
+            line,
+            reason: "missing job index".into(),
+        })?,
+        "job index",
+        line,
+    )?;
+    let records: u64 = number(field(tokens.next(), "records", line)?, "records", line)?;
+    let file = PathBuf::from(unescape(field(tokens.next(), "file", line)?));
+    Ok((job, CkptRef { records, file }))
+}
+
+/// Reference to the latest mid-job checkpoint recorded for a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptRef {
+    /// Trace records the checkpoint covers.
+    pub records: u64,
+    /// Path of the `bfbp-ckpt/1` file, as recorded.
+    pub file: PathBuf,
+}
+
 /// Everything read back from a journal file.
 #[derive(Debug)]
 pub struct LoadedJournal {
@@ -313,6 +378,9 @@ pub struct LoadedJournal {
     pub n_jobs: usize,
     /// Last recorded outcome per job index (all statuses).
     pub entries: BTreeMap<usize, JobOutcome>,
+    /// Last mid-job checkpoint reference per job index (`bfbp-journal/2`
+    /// only; empty for legacy `/1` journals).
+    pub checkpoints: BTreeMap<usize, CkptRef>,
 }
 
 impl LoadedJournal {
@@ -397,6 +465,23 @@ impl Journal {
         file.flush().map_err(|e| io_err(&self.path, e))
     }
 
+    /// Appends a mid-job checkpoint reference and flushes, so the latest
+    /// resume point of every in-flight job is visible even after a hard
+    /// crash of the whole sweep process.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the append fails.
+    pub fn record_ckpt(&self, job: usize, records: u64, file: &Path) -> Result<(), JournalError> {
+        let line = render_ckpt_ref(job, records, file);
+        let mut sink = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        writeln!(sink, "{line}").map_err(|e| io_err(&self.path, e))?;
+        sink.flush().map_err(|e| io_err(&self.path, e))
+    }
+
     /// Reads a journal back, verifying the header against `expect_matrix`
     /// (pass `None` to skip the check) and keeping the last entry per
     /// job. A trailing truncated line (crash artifact) is ignored; any
@@ -418,7 +503,8 @@ impl Journal {
             reason: "empty journal".into(),
         })?;
         let mut tokens = header.split(' ');
-        if tokens.next() != Some(JOURNAL_SCHEMA) {
+        let schema = tokens.next();
+        if schema != Some(JOURNAL_SCHEMA) && schema != Some(LEGACY_JOURNAL_SCHEMA) {
             return Err(JournalError::Parse {
                 line: 1,
                 reason: format!("not a {JOURNAL_SCHEMA} header: {header:?}"),
@@ -436,15 +522,23 @@ impl Journal {
             }
         }
         let mut entries = BTreeMap::new();
+        let mut checkpoints = BTreeMap::new();
         let last = lines.len();
         for (i, line) in lines.iter().enumerate().skip(1) {
             if line.is_empty() {
                 continue;
             }
-            match parse_entry(line, i + 1) {
-                Ok((job, outcome)) => {
+            let parsed = if line.starts_with("ckpt ") {
+                parse_ckpt_ref(line, i + 1).map(|(job, ckpt)| {
+                    checkpoints.insert(job, ckpt);
+                })
+            } else {
+                parse_entry(line, i + 1).map(|(job, outcome)| {
                     entries.insert(job, outcome);
-                }
+                })
+            };
+            match parsed {
+                Ok(()) => {}
                 // The final line may be a torn write from a crash; every
                 // complete line before it is still good.
                 Err(_) if i + 1 == last => break,
@@ -455,6 +549,7 @@ impl Journal {
             matrix_id: found,
             n_jobs,
             entries,
+            checkpoints,
         })
     }
 }
@@ -505,6 +600,11 @@ mod tests {
             JobOutcome {
                 status: JobStatus::Skipped,
                 attempts: 0,
+                wall: Duration::ZERO,
+            },
+            JobOutcome {
+                status: JobStatus::Killed,
+                attempts: 1,
                 wall: Duration::ZERO,
             },
         ];
@@ -599,6 +699,64 @@ mod tests {
             Journal::load(&dir.join("missing.journal"), None),
             Err(JournalError::Io { .. })
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ckpt_refs_round_trip_and_load_last_wins() {
+        let line = render_ckpt_ref(3, 50_000, Path::new("/tmp/dir with space/job-3.ckpt"));
+        assert!(!line.contains("dir with space"), "spaces must escape");
+        let (job, ckpt) = parse_ckpt_ref(&line, 1).unwrap();
+        assert_eq!(job, 3);
+        assert_eq!(ckpt.records, 50_000);
+        assert_eq!(ckpt.file, PathBuf::from("/tmp/dir with space/job-3.ckpt"));
+        assert!(parse_ckpt_ref("ok 1 attempts=1", 1).is_err());
+
+        let dir = std::env::temp_dir().join("bfbp-journal-test-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        let journal = Journal::create(&path, 0xC0FFEE, 2).unwrap();
+        journal
+            .record_ckpt(0, 1000, Path::new("ck/job-0.ckpt"))
+            .unwrap();
+        journal
+            .record_ckpt(1, 1000, Path::new("ck/job-1.ckpt"))
+            .unwrap();
+        journal
+            .record_ckpt(0, 2000, Path::new("ck/job-0.ckpt"))
+            .unwrap();
+        journal.record(1, &ok_outcome()).unwrap();
+        drop(journal);
+        let loaded = Journal::load(&path, Some(0xC0FFEE)).unwrap();
+        assert_eq!(loaded.checkpoints.len(), 2);
+        assert_eq!(loaded.checkpoints[&0].records, 2000, "last ckpt ref wins");
+        assert_eq!(loaded.entries.len(), 1);
+
+        // A torn trailing ckpt line is tolerated like a torn entry.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "ckpt 0 records=").unwrap();
+        }
+        let reloaded = Journal::load(&path, Some(0xC0FFEE)).unwrap();
+        assert_eq!(reloaded.checkpoints[&0].records, 2000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_journals_still_load() {
+        let dir = std::env::temp_dir().join("bfbp-journal-test-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.journal");
+        std::fs::write(
+            &path,
+            format!("{LEGACY_JOURNAL_SCHEMA} matrix=00000000deadbeef jobs=2\nskipped 0\n"),
+        )
+        .unwrap();
+        let loaded = Journal::load(&path, Some(0xDEAD_BEEF)).unwrap();
+        assert_eq!(loaded.n_jobs, 2);
+        assert_eq!(loaded.entries.len(), 1);
+        assert!(loaded.checkpoints.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

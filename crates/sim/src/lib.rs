@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ckpt;
 pub mod engine;
 pub mod fault;
 pub mod journal;
@@ -30,6 +31,9 @@ pub mod runner;
 pub mod simulate;
 pub mod storage;
 
+pub use ckpt::{
+    CodecError, JobCheckpoint, Restorable, SimCheckpoint, StateReader, StateWriter, CKPT_MAGIC,
+};
 pub use engine::{
     sweep, sweep_inputs, sweep_serial, JobOutcome, JobRecord, JobStatus, RetryPolicy, RunSummary,
     StreamedTrace, SweepError, SweepOptions, SweepReport, TraceInput,

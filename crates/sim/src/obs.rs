@@ -24,6 +24,7 @@ use std::path::Path;
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
+use crate::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use crate::engine::{json_f64, json_string};
 
 /// Schema identifier of the span/event journal (one JSON object per line).
@@ -376,6 +377,15 @@ impl H2pTable {
         out
     }
 
+    /// Every branch sorted by PC — the canonical order for
+    /// serialization, so identical tables always serialize to identical
+    /// bytes regardless of `HashMap` iteration order.
+    fn sorted_by_pc(&self) -> Vec<BranchStats> {
+        let mut rows: Vec<BranchStats> = self.branches.values().copied().collect();
+        rows.sort_unstable_by_key(|b| b.pc);
+        rows
+    }
+
     /// Renders the top-`n` branches as an aligned human-readable table —
     /// the same rows [`H2pTable::to_json`] emits.
     pub fn render_table(&self, n: usize) -> String {
@@ -394,6 +404,40 @@ impl H2pTable {
             ));
         }
         out
+    }
+}
+
+impl Restorable for H2pTable {
+    fn save_state(&self, w: &mut StateWriter) {
+        let rows = self.sorted_by_pc();
+        w.usize(rows.len());
+        for b in rows {
+            w.u64(b.pc);
+            w.u64(b.executed);
+            w.u64(b.taken);
+            w.u64(b.mispredicted);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        let count = r.usize()?;
+        if count.saturating_mul(32) > r.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        self.branches.clear();
+        for _ in 0..count {
+            let stats = BranchStats {
+                pc: r.u64()?,
+                executed: r.u64()?,
+                taken: r.u64()?,
+                mispredicted: r.u64()?,
+            };
+            if stats.taken > stats.executed || stats.mispredicted > stats.executed {
+                return Err(CodecError::Malformed("h2p counts exceed executions"));
+            }
+            self.branches.insert(stats.pc, stats);
+        }
+        Ok(())
     }
 }
 
@@ -694,6 +738,41 @@ mod tests {
         assert_eq!(text.matches("journal_open").count(), 1);
         assert_eq!(text.lines().count(), 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn h2p_table_round_trips_through_state_codec() {
+        let mut t = H2pTable::new();
+        for i in 0..50u64 {
+            t.record(0x1000 + 8 * (i % 7), i % 3 == 0, i % 5 == 0);
+        }
+        let mut w = StateWriter::new();
+        t.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Identical state serializes to identical bytes (sorted order).
+        let mut w2 = StateWriter::new();
+        t.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        let mut back = H2pTable::new();
+        back.record(0xDEAD, true, true); // pre-existing junk is replaced
+        let mut r = StateReader::new(&bytes);
+        back.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(H2P_TOP_N), t.to_json(H2P_TOP_N));
+        // Truncation and impossible counts are rejected.
+        let mut trunc = H2pTable::new();
+        assert!(trunc
+            .load_state(&mut StateReader::new(&bytes[..bytes.len() - 3]))
+            .is_err());
+        let mut w = StateWriter::new();
+        w.usize(1);
+        w.u64(0x40);
+        w.u64(1); // executed
+        w.u64(2); // taken > executed: impossible
+        w.u64(0);
+        let bad = w.into_bytes();
+        assert!(trunc.load_state(&mut StateReader::new(&bad)).is_err());
     }
 
     #[test]

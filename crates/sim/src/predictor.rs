@@ -16,6 +16,7 @@ use std::borrow::Cow;
 use bfbp_trace::record::BranchRecord;
 use bfbp_trace::source::TraceChunk;
 
+use crate::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use crate::obs::PredictorIntrospect;
 use crate::storage::StorageBreakdown;
 
@@ -96,6 +97,18 @@ pub trait ConditionalPredictor {
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         None
     }
+
+    /// The predictor's snapshot/restore surface, if it supports
+    /// mid-job checkpointing.
+    ///
+    /// Default: `None` — a predictor without the capability simply
+    /// cannot be checkpointed, and jobs running it fall back to
+    /// whole-job granularity. Implementations typically implement
+    /// [`Restorable`] and return `Some(self)`; the single `&mut`
+    /// accessor serves both saving (which only reads) and restoring.
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        None
+    }
 }
 
 /// A trivially simple predictor: always predicts the same direction.
@@ -139,6 +152,25 @@ impl ConditionalPredictor for StaticPredictor {
 
     fn storage(&self) -> StorageBreakdown {
         StorageBreakdown::new()
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for StaticPredictor {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The direction is configuration, not mutable state, but writing
+        // it lets `load_state` verify the checkpoint matches the build.
+        w.bool(self.taken);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        if r.bool()? != self.taken {
+            return Err(CodecError::Malformed("static direction mismatch"));
+        }
+        Ok(())
     }
 }
 

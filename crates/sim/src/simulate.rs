@@ -17,6 +17,7 @@ use bfbp_trace::record::{BranchRecord, Trace};
 use bfbp_trace::source::{ReplaySource, TraceChunk, TraceSource};
 use bfbp_trace::TraceFormatError;
 
+use crate::ckpt::{SimCheckpoint, StateWriter};
 use crate::predictor::ConditionalPredictor;
 
 /// The outcome of running one predictor over one trace.
@@ -171,6 +172,13 @@ pub enum SimulationError {
     /// A streaming source failed to decode its byte stream. Replayed
     /// and synthetic sources never produce this.
     Source(TraceFormatError),
+    /// Fault injection: the run was killed at a [`Simulation::kill_after`]
+    /// record boundary, mimicking a process death mid-job. Carries the
+    /// number of records that were fully processed before the kill.
+    Killed(u64),
+    /// A [`Simulation::resume_from`] point could not be reached — the
+    /// checkpoint claims more records than the source delivers.
+    Resume(&'static str),
 }
 
 impl fmt::Display for SimulationError {
@@ -178,6 +186,13 @@ impl fmt::Display for SimulationError {
         match self {
             SimulationError::Aborted => write!(f, "{SimulationAborted}"),
             SimulationError::Source(e) => write!(f, "trace source failed: {e}"),
+            SimulationError::Killed(records) => {
+                write!(
+                    f,
+                    "simulation killed by fault injection after {records} records"
+                )
+            }
+            SimulationError::Resume(msg) => write!(f, "cannot resume: {msg}"),
         }
     }
 }
@@ -185,8 +200,8 @@ impl fmt::Display for SimulationError {
 impl std::error::Error for SimulationError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SimulationError::Aborted => None,
             SimulationError::Source(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -224,6 +239,10 @@ pub struct Simulation<'a, P: ConditionalPredictor + ?Sized> {
     chunk_records: usize,
     cancel: Option<&'a mut dyn FnMut() -> bool>,
     observer: Option<&'a mut dyn FnMut(u64, bool, bool)>,
+    checkpoint_every: u64,
+    checkpoint_sink: Option<&'a mut dyn FnMut(SimCheckpoint)>,
+    kill_after: Option<u64>,
+    resume: Option<SimCheckpoint>,
 }
 
 impl<P: ConditionalPredictor + ?Sized> fmt::Debug for Simulation<'_, P> {
@@ -234,6 +253,9 @@ impl<P: ConditionalPredictor + ?Sized> fmt::Debug for Simulation<'_, P> {
             .field("chunk_records", &self.chunk_records)
             .field("cancel", &self.cancel.is_some())
             .field("observer", &self.observer.is_some())
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("kill_after", &self.kill_after)
+            .field("resume", &self.resume.as_ref().map(|c| c.records))
             .finish()
     }
 }
@@ -248,6 +270,10 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             chunk_records: CANCEL_CHECK_RECORDS as usize,
             cancel: None,
             observer: None,
+            checkpoint_every: 0,
+            checkpoint_sink: None,
+            kill_after: None,
+            resume: None,
         }
     }
 
@@ -296,6 +322,45 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
         self
     }
 
+    /// Emits a [`SimCheckpoint`] into `sink` at the first chunk boundary
+    /// at or after every multiple of `every` records (`0` disables).
+    ///
+    /// The checkpoint carries the full accounting state plus the
+    /// predictor's serialized [`crate::ckpt::Restorable`] state, captured
+    /// at the same instant. Predictors without the checkpointing
+    /// capability never fire the sink. Checkpointing never alters
+    /// results: the snapshot is taken between chunks, where the
+    /// predictor holds no in-flight prediction.
+    pub fn checkpoint_every(mut self, every: u64, sink: &'a mut dyn FnMut(SimCheckpoint)) -> Self {
+        self.checkpoint_every = every;
+        self.checkpoint_sink = Some(sink);
+        self
+    }
+
+    /// Fault injection: abandon the run with [`SimulationError::Killed`]
+    /// at the first chunk boundary at or after `records` processed
+    /// records — before any checkpoint due at the same boundary, so the
+    /// kill always loses whatever progress followed the last snapshot,
+    /// exactly like a real process death.
+    pub fn kill_after(mut self, records: u64) -> Self {
+        self.kill_after = Some(records);
+        self
+    }
+
+    /// Resumes accounting from a previously captured checkpoint: the
+    /// first `ckpt.records` source records are skipped (without touching
+    /// the predictor) and all counters, interval windows, and the open
+    /// window continue from the checkpointed values.
+    ///
+    /// Restoring the *predictor* from `ckpt.predictor` is the caller's
+    /// responsibility, before the run starts — the split keeps a failed
+    /// blob restore (torn file) recoverable by rebuilding the predictor,
+    /// which `Simulation` cannot do.
+    pub fn resume_from(mut self, ckpt: SimCheckpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
+
     /// Runs the simulation over `source`, chunk by chunk, to
     /// completion.
     ///
@@ -313,6 +378,10 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             chunk_records,
             mut cancel,
             mut observer,
+            checkpoint_every,
+            mut checkpoint_sink,
+            kill_after,
+            resume,
         } = self;
         let trace_name = source.name().to_owned();
         let mut conditional_branches = 0u64;
@@ -324,7 +393,38 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             conditional_branches: 0,
             mispredictions: 0,
         };
+        let mut records_done = 0u64;
         let mut chunk = TraceChunk::with_capacity(chunk_records);
+        if let Some(ckpt) = resume {
+            // Fast-forward the source past the already-processed prefix.
+            // The records are decoded and discarded — the predictor was
+            // restored by the caller and must not see them again.
+            let mut to_skip = ckpt.records;
+            while to_skip > 0 {
+                let ask = (to_skip as usize).min(chunk_records);
+                let n = source.fill_chunk(&mut chunk, ask)?;
+                if n == 0 {
+                    return Err(SimulationError::Resume(
+                        "checkpoint lies beyond the end of the trace",
+                    ));
+                }
+                to_skip -= n as u64;
+            }
+            records_done = ckpt.records;
+            conditional_branches = ckpt.conditional_branches;
+            mispredictions = ckpt.mispredictions;
+            instructions = ckpt.instructions;
+            intervals = ckpt.intervals;
+            window = ckpt.window;
+        }
+        // Next checkpoint boundary strictly after `records`; `u64::MAX`
+        // (never reached) when checkpointing is disabled.
+        let next_ckpt_after = |records: u64| {
+            records
+                .checked_div(checkpoint_every)
+                .map_or(u64::MAX, |n| (n + 1) * checkpoint_every)
+        };
+        let mut next_ckpt = next_ckpt_after(records_done);
         let mut miss = vec![false; chunk_records];
         loop {
             let n = source.fill_chunk(&mut chunk, chunk_records)?;
@@ -409,6 +509,31 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
                             conditional_branches: 0,
                             mispredictions: 0,
                         };
+                    }
+                }
+            }
+            records_done += n as u64;
+            // The kill fires before any checkpoint due at this boundary:
+            // a real SIGKILL never leaves a snapshot of the work it
+            // destroys.
+            if kill_after.is_some_and(|k| records_done >= k) {
+                return Err(SimulationError::Killed(records_done));
+            }
+            if records_done >= next_ckpt {
+                next_ckpt = next_ckpt_after(records_done);
+                if let Some(sink) = checkpoint_sink.as_mut() {
+                    if let Some(restorable) = predictor.checkpointing() {
+                        let mut w = StateWriter::new();
+                        restorable.save_state(&mut w);
+                        sink(SimCheckpoint {
+                            records: records_done,
+                            instructions,
+                            conditional_branches,
+                            mispredictions,
+                            intervals: intervals.clone(),
+                            window,
+                            predictor: w.into_bytes(),
+                        });
                     }
                 }
             }

@@ -16,6 +16,7 @@
 use bfbp_predictors::counter::CounterTable;
 use bfbp_predictors::history::mix64;
 use bfbp_predictors::loop_pred::LoopPredictor;
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_trace::record::BranchRecord;
@@ -24,7 +25,10 @@ use crate::tage::{ProviderStats, Tage};
 
 /// Interface a TAGE-style predictor exposes so ISL side components can
 /// wrap it.
-pub trait TageEngine: ConditionalPredictor {
+///
+/// [`Restorable`] is a supertrait so the `Isl<T>` wrapper can serialize
+/// the engine it wraps as part of its own checkpoint.
+pub trait TageEngine: ConditionalPredictor + Restorable {
     /// Counter value of the provider entry of the most recent prediction
     /// (0 when the base predictor provided).
     fn last_provider_ctr(&self) -> i8;
@@ -92,6 +96,16 @@ impl StatisticalCorrector {
     /// Storage in bits.
     pub fn storage_bits(&self) -> u64 {
         self.table.storage_bits()
+    }
+}
+
+impl Restorable for StatisticalCorrector {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.table.load_state(r)
     }
 }
 
@@ -212,6 +226,27 @@ impl<T: TageEngine> ConditionalPredictor for Isl<T> {
         // where the insight is; the loop/SC components are stateless by
         // comparison.
         self.tage.introspection()
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl<T: TageEngine> Restorable for Isl<T> {
+    fn save_state(&self, w: &mut StateWriter) {
+        // The `last_*` fields are per-prediction scratch (rewritten by
+        // the next `predict` before `update` reads them); the engine,
+        // loop table, and SC counters are the durable state.
+        self.tage.save_state(w);
+        self.loop_pred.save_state(w);
+        self.sc.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.tage.load_state(r)?;
+        self.loop_pred.load_state(r)?;
+        self.sc.load_state(r)
     }
 }
 

@@ -7,6 +7,8 @@
 //! BF-TAGE folds the bias-free history), keeping this module reusable by
 //! both.
 
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
+
 /// One tagged entry.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaggedEntry {
@@ -149,6 +151,31 @@ impl TaggedTable {
     /// Storage in bits: (3 + tag + 2) per entry.
     pub fn storage_bits(&self) -> u64 {
         self.entries.len() as u64 * (3 + u64::from(self.tag_bits) + 2)
+    }
+}
+
+impl Restorable for TaggedTable {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.entries.len());
+        for e in &self.entries {
+            w.i8(e.ctr);
+            w.u16(e.tag);
+            w.u8(e.useful);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        if r.usize()? != self.entries.len() {
+            return Err(CodecError::Malformed("tagged table size mismatch"));
+        }
+        for e in &mut self.entries {
+            *e = TaggedEntry {
+                ctr: r.i8()?,
+                tag: r.u16()?,
+                useful: r.u8()?,
+            };
+        }
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 
 use bfbp_predictors::bimodal::Bimodal;
 use bfbp_predictors::history::{mix64, ManagedHistory, PathHistory};
+use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{Metrics, PredictorIntrospect};
 use bfbp_sim::predictor::ConditionalPredictor;
 use bfbp_sim::storage::StorageBreakdown;
@@ -382,6 +383,57 @@ impl TageCore {
     }
 }
 
+impl Restorable for TageCore {
+    fn save_state(&self, w: &mut StateWriter) {
+        // Everything that survives across predictions: tables, the
+        // use-alt preference, the aging clock, the allocation RNG (so a
+        // resumed run draws the same coin flips), and every
+        // observability counter the metrics document exports. The
+        // `ctx`/`last_provider_ctr` scratch is rewritten by the next
+        // `predict` before any use.
+        self.base.save_state(w);
+        w.usize(self.tables.len());
+        for t in &self.tables {
+            t.save_state(w);
+        }
+        w.i32(self.use_alt_on_na);
+        w.u64(self.tick);
+        w.bool(self.reset_msb_next);
+        w.u64(self.rng_state);
+        w.u64_slice(&self.stats.counts);
+        w.u64_slice(&self.allocs);
+        w.u64(self.alloc_failures);
+        w.u64(self.useful_resets);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.base.load_state(r)?;
+        if r.usize()? != self.tables.len() {
+            return Err(CodecError::Malformed("tage table count mismatch"));
+        }
+        for t in &mut self.tables {
+            t.load_state(r)?;
+        }
+        self.use_alt_on_na = r.i32()?;
+        self.tick = r.u64()?;
+        self.reset_msb_next = r.bool()?;
+        self.rng_state = r.u64()?;
+        let counts = r.u64_vec()?;
+        if counts.len() != self.stats.counts.len() {
+            return Err(CodecError::Malformed("provider stats size mismatch"));
+        }
+        self.stats.counts = counts;
+        let allocs = r.u64_vec()?;
+        if allocs.len() != self.allocs.len() {
+            return Err(CodecError::Malformed("alloc counts size mismatch"));
+        }
+        self.allocs = allocs;
+        self.alloc_failures = r.u64()?;
+        self.useful_resets = r.u64()?;
+        Ok(())
+    }
+}
+
 /// Conventional TAGE over raw global branch history.
 #[derive(Debug, Clone)]
 pub struct Tage {
@@ -519,6 +571,24 @@ impl ConditionalPredictor for Tage {
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
         Some(self)
+    }
+
+    fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
+        Some(self)
+    }
+}
+
+impl Restorable for Tage {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.core.save_state(w);
+        self.history.save_state(w);
+        self.path.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), CodecError> {
+        self.core.load_state(r)?;
+        self.history.load_state(r)?;
+        self.path.load_state(r)
     }
 }
 

@@ -34,9 +34,14 @@ use crate::synth::suite::TraceSpec;
 pub enum CacheStatus {
     /// Served from a valid on-disk entry; no generation ran.
     Hit,
-    /// No valid entry existed; the trace was generated (and stored,
-    /// best-effort).
+    /// No entry existed at all (cold miss); the trace was generated
+    /// (and stored, best-effort).
     Generated,
+    /// An entry existed on disk but failed validation — torn, corrupted,
+    /// or mismatched — and was regenerated over. Distinct from
+    /// [`CacheStatus::Generated`] so silent corruption recovery is
+    /// countable in metrics and event journals.
+    Regenerated,
     /// The cache is disabled; the trace was generated and not stored.
     Bypassed,
 }
@@ -47,6 +52,7 @@ impl CacheStatus {
         match self {
             CacheStatus::Hit => "hit",
             CacheStatus::Generated => "generated",
+            CacheStatus::Regenerated => "regenerated",
             CacheStatus::Bypassed => "bypassed",
         }
     }
@@ -139,6 +145,7 @@ impl TraceCache {
         let Some(path) = self.entry_path(spec, n_records) else {
             return (spec.generate_len(n_records), CacheStatus::Bypassed);
         };
+        let existed = path.exists();
         if let Ok(trace) = read_trace_file(&path) {
             // The fingerprint in the file name is the real key; the
             // name/length check only guards against hash collisions and
@@ -156,7 +163,12 @@ impl TraceCache {
                 path.display()
             );
         }
-        (trace, CacheStatus::Generated)
+        let status = if existed {
+            CacheStatus::Regenerated
+        } else {
+            CacheStatus::Generated
+        };
+        (trace, status)
     }
 }
 
@@ -247,7 +259,8 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
         let (recovered, status) = cache.fetch(&spec, 1500);
-        assert_eq!(status, CacheStatus::Generated);
+        assert_eq!(status, CacheStatus::Regenerated);
+        assert!(status.generated());
         assert_eq!(recovered, reference);
         // The repaired entry serves hits again.
         assert_eq!(cache.fetch(&spec, 1500).1, CacheStatus::Hit);
@@ -301,6 +314,7 @@ mod tests {
     fn status_names_are_stable() {
         assert_eq!(CacheStatus::Hit.name(), "hit");
         assert_eq!(CacheStatus::Generated.name(), "generated");
+        assert_eq!(CacheStatus::Regenerated.name(), "regenerated");
         assert_eq!(CacheStatus::Bypassed.name(), "bypassed");
     }
 }

@@ -67,6 +67,18 @@ impl Xoshiro256 {
         }
     }
 
+    /// The raw 256-bit state, for external serialization (checkpoints).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restores a state previously returned by [`Xoshiro256::state`].
+    /// An all-zero state is invalid for xoshiro256** and is replaced by a
+    /// fixed non-zero state, mirroring [`Xoshiro256::seed_from_u64`].
+    pub fn set_state(&mut self, s: [u64; 4]) {
+        self.s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
+    }
+
     /// Returns the next 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -81,13 +81,14 @@ fn acceptance_panic_timeout_corruption_then_resume() {
     assert!(json.contains("\"status\": \"timed_out\""));
     assert!(json.contains("\"status\": \"ok\""));
     assert!(json.contains(
-        "\"summary\": {\"jobs\": 4, \"ok\": 1, \"failed\": 2, \"timed_out\": 1, \"skipped\": 0}"
+        "\"summary\": {\"jobs\": 4, \"ok\": 1, \"failed\": 2, \"timed_out\": 1, \"skipped\": 0, \
+         \"killed\": 0}"
     ));
 
     // The journal holds the schema header plus one line per job.
     let round1 = fs::read_to_string(&journal).expect("journal written");
     assert_eq!(round1.lines().count(), 1 + 4, "{round1}");
-    assert!(round1.starts_with("bfbp-journal/1 "), "{round1}");
+    assert!(round1.starts_with("bfbp-journal/2 "), "{round1}");
 
     // Round 2: resume with the faults gone. Only the three unhealthy
     // jobs may re-run; the completed one is restored from the journal.

@@ -232,9 +232,9 @@ fn warm_cache_does_zero_generation_per_events_journal() {
 
 /// File-backed streamed inputs route through the same `trace_cache`
 /// accounting as the materializing cache path: a healthy BFBT entry
-/// journals its per-job open as a `hit`, a corrupted entry quarantines
-/// into a `generated` (regenerate-from-spec) open — and the sweep
-/// documents are byte-identical to pure synthesis either way.
+/// journals its per-job open as a `hit`, a torn entry quarantines into
+/// a `regenerated` (entry existed but failed validation) open — and
+/// the sweep documents are byte-identical to pure synthesis either way.
 #[test]
 fn file_backed_streamed_inputs_journal_cache_status() {
     let registry = bfbp::default_registry();
@@ -279,10 +279,11 @@ fn file_backed_streamed_inputs_journal_cache_status() {
     assert_eq!(count_status(&journal, "generated"), 0, "{journal}");
 
     // Corrupt the entry in place: the per-job open must fall back to
-    // synthesis, account for it as `generated`, and still match.
+    // synthesis, account for it as `regenerated` (the entry was there
+    // but torn — not a cold `generated` miss), and still match.
     let bytes = fs::read(&entry).expect("entry exists");
     fs::write(&entry, &bytes[..bytes.len() / 2]).expect("truncate entry");
-    let gen_path = scratch("generated.events.jsonl");
+    let gen_path = scratch("regenerated.events.jsonl");
     let report = sweep_inputs(
         &registry,
         &specs,
@@ -295,8 +296,9 @@ fn file_backed_streamed_inputs_journal_cache_status() {
         reference.results_json(),
         "corrupt cache entry changed the results document"
     );
-    let journal = fs::read_to_string(&gen_path).expect("generated journal");
-    assert_eq!(count_status(&journal, "generated"), 1, "{journal}");
+    let journal = fs::read_to_string(&gen_path).expect("regenerated journal");
+    assert_eq!(count_status(&journal, "regenerated"), 1, "{journal}");
+    assert_eq!(count_status(&journal, "generated"), 0, "{journal}");
     assert_eq!(count_status(&journal, "hit"), 0, "{journal}");
 
     let _ = fs::remove_dir_all(&cache_dir);
