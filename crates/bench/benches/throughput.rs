@@ -4,7 +4,7 @@
 //! trace — directly comparable to the BENCH_4 streaming-pipeline
 //! baseline, which predates the batch kernels.
 //!
-//! Two guards in one binary: the numbers land in `BENCH_5.json` (in
+//! Two guards in one binary: the numbers land in `BENCH_6.json` (in
 //! `BFBP_RESULTS_DIR`, else the workspace root) for the verify skill's
 //! tolerance check, and every matrix predictor's batched run is
 //! asserted to produce *identical* misprediction counts to the
@@ -103,7 +103,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"schema\": \"bfbp-bench/1\",");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_5\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_6\",");
     let _ = writeln!(
         json,
         "  \"description\": \"batched predictor kernels: bf-tage over cached {} plus an all-predictor batched vs per-record matrix\",",
@@ -130,8 +130,8 @@ fn main() {
     let _ = writeln!(json, "  \"peak_rss_kb\": {peak_rss_kb}");
     json.push_str("}\n");
 
-    let path = output_dir().join("BENCH_5.json");
-    std::fs::write(&path, &json).expect("write BENCH_5.json");
+    let path = output_dir().join("BENCH_6.json");
+    std::fs::write(&path, &json).expect("write BENCH_6.json");
     print!("{json}");
     eprintln!("wrote {}", path.display());
 }

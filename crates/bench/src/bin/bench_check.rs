@@ -1,0 +1,218 @@
+//! Perf-regression gate over the committed `BENCH_*.json` baselines:
+//! compares the newest benchmark document against its predecessor (or a
+//! freshly generated `--candidate` file against the newest committed
+//! one) and fails when a headline throughput key regressed past the
+//! noise tolerance.
+//!
+//! ```sh
+//! bench_check                                 # newest committed vs predecessor
+//! bench_check --candidate /tmp/b6/BENCH_6.json  # fresh run vs newest committed
+//! bench_check --dir . --tolerance 0.7
+//! ```
+//!
+//! Headline keys (`replay_records_per_sec`, `streamed_records_per_sec`)
+//! are gated at `--tolerance` (default 0.7× — single-core CI runs vary
+//! ±10–15%). When both documents carry a batched-vs-per-record
+//! `matrix`, each predictor's *effective* rate — the better of its two
+//! modes, which is what `Simulation::run` actually picks via
+//! `prefers_batch()` — is gated at half the headline tolerance, loose
+//! enough for small-sample noise but tight enough to catch a kernel
+//! that silently fell off a cliff.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bfbp_sim::forensics::{parse_json, JsonValue};
+
+const HEADLINE_KEYS: [&str; 2] = ["replay_records_per_sec", "streamed_records_per_sec"];
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut tolerance = 0.7f64;
+    let mut candidate: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => match args.next() {
+                Some(d) => dir = d.into(),
+                None => return usage("--dir needs a directory"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 && t <= 1.0 => tolerance = t,
+                _ => return usage("--tolerance needs a factor in (0, 1]"),
+            },
+            "--candidate" => match args.next() {
+                Some(p) => candidate = Some(p.into()),
+                None => return usage("--candidate needs a file"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let mut committed = match committed_benches(&dir) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (new_path, old_path) = match &candidate {
+        Some(fresh) => match committed.pop() {
+            Some((_, newest)) => (fresh.clone(), newest),
+            None => {
+                eprintln!("error: no committed BENCH_*.json in {}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let Some((_, newest)) = committed.pop() else {
+                eprintln!("error: no BENCH_*.json in {}", dir.display());
+                return ExitCode::FAILURE;
+            };
+            let Some((_, prev)) = committed.pop() else {
+                eprintln!(
+                    "only one BENCH_*.json in {} — nothing to compare against",
+                    dir.display()
+                );
+                return ExitCode::SUCCESS;
+            };
+            (newest, prev)
+        }
+    };
+
+    let (new_doc, old_doc) = match (load(&new_path), load(&old_path)) {
+        (Ok(n), Ok(o)) => (n, o),
+        (Err(e), _) => {
+            eprintln!("error: {}: {e}", new_path.display());
+            return ExitCode::FAILURE;
+        }
+        (_, Err(e)) => {
+            eprintln!("error: {}: {e}", old_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bench_check: {} vs baseline {} (tolerance {tolerance:.2})",
+        new_path.display(),
+        old_path.display()
+    );
+
+    let mut failures = 0;
+    for key in HEADLINE_KEYS {
+        let (Some(new), Some(old)) = (
+            new_doc.get(key).and_then(JsonValue::as_f64),
+            old_doc.get(key).and_then(JsonValue::as_f64),
+        ) else {
+            continue;
+        };
+        check(key, new, old, tolerance, &mut failures);
+    }
+
+    // Matrix gate: per-predictor effective (best-mode) rate, at half
+    // the headline tolerance — 20k-record samples are noisier.
+    let matrix_tolerance = tolerance * 0.5;
+    let (new_matrix, old_matrix) = (matrix_rates(&new_doc), matrix_rates(&old_doc));
+    for (name, new) in &new_matrix {
+        if let Some(old) = old_matrix.get(name) {
+            check(
+                &format!("matrix:{name}"),
+                *new,
+                *old,
+                matrix_tolerance,
+                &mut failures,
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_check: {failures} regression(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("bench_check: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn check(key: &str, new: f64, old: f64, tolerance: f64, failures: &mut u32) {
+    if new >= tolerance * old {
+        eprintln!(
+            "  ok    {key}: {new:.0} vs {old:.0} ({:+.1}%)",
+            pct(new, old)
+        );
+    } else {
+        eprintln!(
+            "  FAIL  {key}: {new:.0} vs {old:.0} ({:+.1}%, floor {:.0})",
+            pct(new, old),
+            tolerance * old
+        );
+        *failures += 1;
+    }
+}
+
+fn pct(new: f64, old: f64) -> f64 {
+    (new / old - 1.0) * 100.0
+}
+
+/// Every committed `BENCH_<n>.json` in `dir`, sorted ascending by `n`
+/// (so `pop()` yields the newest).
+fn committed_benches(dir: &Path) -> Result<Vec<(u64, PathBuf)>, String> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(|e| e.to_string())? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            found.push((n, path));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+fn load(path: &Path) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = parse_json(&text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("bfbp-bench/1") => Ok(doc),
+        Some(other) => Err(format!("unexpected schema {other:?}")),
+        None => Err("missing \"schema\"".to_owned()),
+    }
+}
+
+/// Per-predictor effective rate from a document's `matrix` array: the
+/// better of batched and per-record, matching what the simulation's
+/// `prefers_batch()` routing achieves in practice.
+fn matrix_rates(doc: &JsonValue) -> BTreeMap<String, f64> {
+    let mut rates = BTreeMap::new();
+    let Some(rows) = doc.get("matrix").and_then(JsonValue::as_arr) else {
+        return rates;
+    };
+    for row in rows {
+        let Some(name) = row.get("predictor").and_then(JsonValue::as_str) else {
+            continue;
+        };
+        let batched = row
+            .get("batched_records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let per_record = row
+            .get("per_record_records_per_sec")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        rates.insert(name.to_owned(), batched.max(per_record));
+    }
+    rates
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!("usage: bench_check [--dir DIR] [--tolerance F] [--candidate FILE]");
+    ExitCode::FAILURE
+}

@@ -9,6 +9,7 @@
 //!       [--journal PATH] [--resume PATH]
 //!       [--checkpoint-every N] [--checkpoint-dir DIR]
 //!       [--metrics-out PATH] [--events-out PATH] [--progress]
+//!       [--flight-recorder N] [--postmortem-dir DIR]
 //!       [--trace-file PATH]... [--fault-plan PLAN]
 //!       [--trace-cache|--no-trace-cache]
 //!       <spec> [<spec>...]
@@ -31,7 +32,11 @@
 //! `bfbp-metrics/1` document (never perturbing the `bfbp-sweep/2`
 //! results); `--events-out` appends a `bfbp-events/1` JSONL span/event
 //! journal (sweep → job spans, retries, timeouts); `--progress` draws a
-//! live job-completion line on stderr.
+//! live job-completion line on stderr; `--flight-recorder N` keeps the
+//! last N decisions per job in a ring buffer and, together with
+//! `--postmortem-dir`, dumps them as a `bfbp-postmortem/1` document
+//! whenever a job fails, times out, or is killed (render dumps and
+//! export journals with the `forensics` binary).
 //!
 //! Fault tolerance: failed jobs are retried `--retries` times with
 //! `--backoff` between attempts; `--timeout` bounds each job's wall

@@ -36,6 +36,10 @@ common flags:
   --metrics            collect per-job introspection metrics and H2P
   --metrics-out PATH   ... and write the bfbp-metrics/1 document here
   --events PATH        append the bfbp-events/1 span/event journal
+  --flight-recorder N  keep the last N decisions per in-flight job for
+                       postmortem dumps (requires --postmortem-dir)
+  --postmortem-dir DIR directory for bfbp-postmortem/1 dumps written
+                       when a job fails, times out, or is killed
   --progress           draw a live job-completion line on stderr
   --trace-cache | --no-trace-cache
                        force the content-addressed trace cache on/off";
@@ -80,6 +84,10 @@ pub struct CommonArgs {
     pub metrics_out: Option<PathBuf>,
     /// `--events PATH` (also accepted as `--events-out`).
     pub events: Option<PathBuf>,
+    /// `--flight-recorder N` (ring capacity in decisions).
+    pub flight_recorder: Option<usize>,
+    /// `--postmortem-dir DIR`.
+    pub postmortem_dir: Option<PathBuf>,
     /// `--progress`.
     pub progress: bool,
 }
@@ -133,6 +141,12 @@ impl CommonArgs {
                 self.metrics_out = Some(value(args, arg, "a path")?.into());
             }
             "--events" | "--events-out" => self.events = Some(value(args, arg, "a path")?.into()),
+            "--flight-recorder" => {
+                self.flight_recorder = Some(number(args, arg, "a decision count")?);
+            }
+            "--postmortem-dir" => {
+                self.postmortem_dir = Some(value(args, arg, "a directory")?.into());
+            }
             "--progress" => self.progress = true,
             other => return Ok(trace_cache_flag(other)),
         }
@@ -174,6 +188,12 @@ impl CommonArgs {
         }
         if let Some(path) = &self.events {
             options.events = Some(path.clone());
+        }
+        if let Some(capacity) = self.flight_recorder {
+            options.flight_recorder = capacity;
+        }
+        if let Some(dir) = &self.postmortem_dir {
+            options.postmortem_dir = Some(dir.clone());
         }
         if self.progress {
             options.progress = true;
@@ -222,6 +242,12 @@ impl CommonArgs {
         }
         if let Some(dir) = &self.checkpoint_dir {
             std::env::set_var("BFBP_SWEEP_CKPT_DIR", dir.as_os_str());
+        }
+        if let Some(capacity) = self.flight_recorder {
+            std::env::set_var("BFBP_SWEEP_FLIGHT", capacity.to_string());
+        }
+        if let Some(dir) = &self.postmortem_dir {
+            std::env::set_var("BFBP_SWEEP_FLIGHT_DIR", dir.as_os_str());
         }
         Ok(())
     }
@@ -357,6 +383,28 @@ mod tests {
         assert_eq!(
             consume_all(&["--checkpoint-dir"]).unwrap_err(),
             "--checkpoint-dir needs a directory"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_flags_apply_to_options() {
+        let mut options = SweepOptions::default();
+        let (common, rest) =
+            consume_all(&["--flight-recorder", "256", "--postmortem-dir", "pm"]).unwrap();
+        assert!(rest.is_empty());
+        common.apply_to(&mut options);
+        assert_eq!(options.flight_recorder, 256);
+        assert_eq!(
+            options.postmortem_dir.as_deref(),
+            Some(std::path::Path::new("pm"))
+        );
+        assert_eq!(
+            consume_all(&["--flight-recorder", "many"]).unwrap_err(),
+            "--flight-recorder needs a decision count"
+        );
+        assert_eq!(
+            consume_all(&["--postmortem-dir"]).unwrap_err(),
+            "--postmortem-dir needs a directory"
         );
     }
 

@@ -31,7 +31,7 @@ use bfbp_predictors::history::{mix64, BucketedFolds, GlobalHistory};
 use bfbp_predictors::loop_pred::LoopPredictor;
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::bst::{BranchStatus, Bst, Classifier, ProbabilisticBst};
@@ -232,7 +232,11 @@ struct Scratch {
     used_perceptron: bool,
     wm_indices: Vec<usize>,
     wrs_terms: Vec<(usize, bool)>,
+    /// Prediction before any loop-predictor override.
+    base_pred: bool,
     final_pred: bool,
+    /// Whether a confident loop prediction overrode `base_pred`.
+    loop_used: bool,
 }
 
 /// The practical BF-Neural predictor (Algorithms 2 and 3).
@@ -483,16 +487,18 @@ impl ConditionalPredictor for BfNeural {
         };
         // The loop predictor overrides when confident (§IV-B2: "The loop
         // count (LC) predictor is used to predict these loops").
-        let final_pred = match self.loop_pred.as_ref().and_then(|lp| lp.predict(pc)) {
-            Some(lp) if lp.confident => lp.taken,
-            _ => pred,
+        let (final_pred, loop_used) = match self.loop_pred.as_ref().and_then(|lp| lp.predict(pc)) {
+            Some(lp) if lp.confident => (lp.taken, true),
+            _ => (pred, false),
         };
         self.scratch = Scratch {
             sum,
             used_perceptron,
             wm_indices,
             wrs_terms,
+            base_pred: pred,
             final_pred,
+            loop_used,
         };
         final_pred
     }
@@ -591,6 +597,29 @@ impl ConditionalPredictor for BfNeural {
             s.push_nested("loop", &lp.storage());
         }
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        if self.scratch.loop_used {
+            return Some(Provenance {
+                component: "loop",
+                prediction: self.scratch.final_pred,
+                alternate: Some(self.scratch.base_pred),
+                ..Default::default()
+            });
+        }
+        if self.scratch.used_perceptron {
+            return Some(Provenance {
+                component: "perceptron",
+                prediction: self.scratch.final_pred,
+                margin: Some(i64::from(self.scratch.sum)),
+                history_len: Some((self.config.recent_unfiltered + self.config.deep_depth) as u32),
+                ..Default::default()
+            });
+        }
+        // Branch still classified as biased: the BST supplied its
+        // recorded direction.
+        Some(Provenance::of("bst", self.scratch.final_pred))
     }
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {
@@ -704,6 +733,7 @@ pub struct IdealBfNeural {
     scratch_sum: i32,
     scratch_indices: Vec<usize>,
     scratch_used: bool,
+    scratch_pred: bool,
 }
 
 impl IdealBfNeural {
@@ -727,6 +757,7 @@ impl IdealBfNeural {
             scratch_sum: 0,
             scratch_indices: Vec::new(),
             scratch_used: false,
+            scratch_pred: false,
         }
     }
 
@@ -744,7 +775,7 @@ impl ConditionalPredictor for IdealBfNeural {
     }
 
     fn predict(&mut self, pc: u64) -> bool {
-        match self.classifier.status(pc) {
+        self.scratch_pred = match self.classifier.status(pc) {
             BranchStatus::NotFound | BranchStatus::NotTaken => {
                 self.scratch_used = false;
                 false
@@ -767,7 +798,8 @@ impl ConditionalPredictor for IdealBfNeural {
                 self.scratch_used = true;
                 sum >= 0
             }
-        }
+        };
+        self.scratch_pred
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
@@ -805,6 +837,19 @@ impl ConditionalPredictor for IdealBfNeural {
         s.push("Wb bias weights", self.wb.len() as u64 * 8);
         s.push("recency stack", self.stack.storage_bits());
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        if self.scratch_used {
+            return Some(Provenance {
+                component: "perceptron",
+                prediction: self.scratch_pred,
+                margin: Some(i64::from(self.scratch_sum)),
+                history_len: Some(self.depth as u32),
+                ..Default::default()
+            });
+        }
+        Some(Provenance::of("bst", self.scratch_pred))
     }
 
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {

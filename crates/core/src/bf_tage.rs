@@ -11,7 +11,7 @@
 use bfbp_predictors::history::{mix64, PathHistory};
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{Metrics, PredictorIntrospect};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_tage::config::TageConfig;
 use bfbp_tage::isl::{Isl, TageEngine};
@@ -191,6 +191,10 @@ impl ConditionalPredictor for BfTage {
         );
         s.push("path history", u64::from(self.path.len()));
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(self.core.last_provenance())
     }
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {

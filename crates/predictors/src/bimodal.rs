@@ -4,7 +4,7 @@
 //! the tagless base component `T0` of TAGE (Figure 6 of the paper).
 
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::counter::CounterTable;
@@ -15,6 +15,9 @@ pub struct Bimodal {
     table: CounterTable,
     mask: u64,
     name: String,
+    /// Counter value read by the most recent prediction — provenance
+    /// scratch, not architectural state (never checkpointed).
+    last_ctr: i32,
 }
 
 impl Bimodal {
@@ -30,6 +33,7 @@ impl Bimodal {
             table: CounterTable::new(1 << log_size, bits),
             mask: (1u64 << log_size) - 1,
             name: format!("bimodal-{}e", 1u64 << log_size),
+            last_ctr: 0,
         }
     }
 
@@ -73,7 +77,8 @@ impl ConditionalPredictor for Bimodal {
     }
 
     fn predict(&mut self, pc: u64) -> bool {
-        self.lookup(pc)
+        self.last_ctr = self.table.get(self.index(pc));
+        self.last_ctr >= 0
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
@@ -85,7 +90,9 @@ impl ConditionalPredictor for Bimodal {
         // fused lookup + train (the counter is read before training).
         for i in 0..pcs.len() {
             let idx = ((pcs[i] >> 2) & self.mask) as usize;
-            miss[i] = self.table.is_taken(idx) != takens[i];
+            let ctr = self.table.get(idx);
+            self.last_ctr = ctr;
+            miss[i] = (ctr >= 0) != takens[i];
             self.table.train(idx, takens[i]);
         }
     }
@@ -94,6 +101,23 @@ impl ConditionalPredictor for Bimodal {
         let mut s = StorageBreakdown::new();
         s.push("bimodal table", self.storage_bits());
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance {
+            component: "bimodal",
+            prediction: self.last_ctr >= 0,
+            counter: Some(self.last_ctr),
+            ..Default::default()
+        })
+    }
+
+    fn prefers_batch(&self) -> bool {
+        // The per-record work is one table read and one train; the
+        // chunk segmentation + miss-buffer machinery of the batched
+        // drive costs more than it saves (BENCH_5: 115M rec/s batched
+        // vs 238M per-record).
+        false
     }
 
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {

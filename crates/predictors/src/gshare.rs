@@ -5,7 +5,7 @@
 //! exponential pattern capacity.
 
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::counter::CounterTable;
@@ -20,6 +20,9 @@ pub struct Gshare {
     hist_len: usize,
     mask: u64,
     name: String,
+    /// Counter value read by the most recent prediction — provenance
+    /// scratch, not architectural state (never checkpointed).
+    last_ctr: i32,
 }
 
 impl Gshare {
@@ -38,6 +41,7 @@ impl Gshare {
             hist_len,
             mask: (1u64 << log_size) - 1,
             name: format!("gshare-{hist_len}h"),
+            last_ctr: 0,
         }
     }
 
@@ -62,7 +66,8 @@ impl ConditionalPredictor for Gshare {
     }
 
     fn predict(&mut self, pc: u64) -> bool {
-        self.table.is_taken(self.index(pc))
+        self.last_ctr = self.table.get(self.index(pc));
+        self.last_ctr >= 0
     }
 
     fn update(&mut self, pc: u64, taken: bool, _target: u64) {
@@ -81,7 +86,9 @@ impl ConditionalPredictor for Gshare {
         for i in 0..pcs.len() {
             let taken = takens[i];
             let idx = (((pcs[i] >> 2) ^ h) & self.mask) as usize;
-            miss[i] = self.table.is_taken(idx) != taken;
+            let ctr = self.table.get(idx);
+            self.last_ctr = ctr;
+            miss[i] = (ctr >= 0) != taken;
             self.table.train(idx, taken);
             self.history.push(taken);
             h = ((h << 1) | u64::from(taken)) & hmask;
@@ -93,6 +100,16 @@ impl ConditionalPredictor for Gshare {
         s.push("pattern history table", self.table.storage_bits());
         s.push("global history register", self.hist_len as u64);
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance {
+            component: "pht",
+            prediction: self.last_ctr >= 0,
+            counter: Some(self.last_ctr),
+            history_len: Some(self.hist_len as u32),
+            ..Default::default()
+        })
     }
 
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {

@@ -6,7 +6,7 @@
 
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::history::GlobalHistory;
@@ -121,6 +121,16 @@ impl ConditionalPredictor for Perceptron {
         );
         s.push("global history register", self.history_len as u64);
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance {
+            component: "perceptron",
+            prediction: self.last_sum >= 0,
+            margin: Some(i64::from(self.last_sum)),
+            history_len: Some(self.history_len as u32),
+            ..Default::default()
+        })
     }
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {

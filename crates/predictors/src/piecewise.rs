@@ -8,7 +8,7 @@
 //! ("fhist", §IV-A), which reduces aliasing between different paths.
 
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::history::{mix64, BucketedFolds, GlobalHistory};
@@ -183,6 +183,23 @@ impl ConditionalPredictor for PiecewiseLinear {
             (self.config.history_len + self.addresses.len() * 14) as u64,
         );
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance {
+            component: "piecewise",
+            prediction: self.last_sum >= 0,
+            margin: Some(i64::from(self.last_sum)),
+            history_len: Some(self.config.history_len as u32),
+            ..Default::default()
+        })
+    }
+
+    fn prefers_batch(&self) -> bool {
+        // The per-record cost is dominated by the `history_len` hashed
+        // weight lookups; chunk segmentation adds overhead without
+        // amortising anything (BENCH_5 showed the batched drive slower).
+        false
     }
 
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {

@@ -17,7 +17,7 @@
 
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{saturation_fraction, Metrics, PredictorIntrospect};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 
 use crate::history::{mix64, BucketedFolds, GlobalHistory};
@@ -296,6 +296,16 @@ impl ConditionalPredictor for ScaledNeural {
             (self.config.history_len + self.addresses.len() * 14) as u64,
         );
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance {
+            component: "snap",
+            prediction: self.last_sum >= 0,
+            margin: Some(i64::from(self.last_sum)),
+            history_len: Some(self.config.history_len as u32),
+            ..Default::default()
+        })
     }
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {

@@ -523,15 +523,30 @@ impl JobCheckpoint {
 ///
 /// Returns the underlying io error (the temporary file is removed).
 pub fn write_ckpt_file(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(CKPT_MAGIC.len() + payload.len() + 16);
+    bytes.extend_from_slice(CKPT_MAGIC);
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    write_atomic(path, &bytes)
+}
+
+/// Writes `bytes` to `path` atomically — a temporary sibling is written,
+/// synced, and renamed over `path`, so a crash mid-write leaves either
+/// the old file or no file under the final name, never a torn one. The
+/// crash-consistency idiom shared by checkpoint files and postmortem
+/// dumps.
+///
+/// # Errors
+///
+/// Returns the underlying io error (the temporary file is removed).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     fs::create_dir_all(dir)?;
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
     let result = (|| {
         let mut file = fs::File::create(&tmp)?;
-        file.write_all(CKPT_MAGIC)?;
-        file.write_all(payload)?;
-        file.write_all(&(payload.len() as u64).to_le_bytes())?;
-        file.write_all(&fnv1a(payload).to_le_bytes())?;
+        file.write_all(bytes)?;
         file.sync_all()?;
         fs::rename(&tmp, path)
     })();

@@ -80,7 +80,7 @@ use bfbp_trace::synth::suite::TraceSpec;
 use crate::ckpt::{self, JobCheckpoint, Restorable, SimCheckpoint, StateReader, StateWriter};
 use crate::fault::{Fault, FaultPlan};
 use crate::journal::{self, Journal, JournalError};
-use crate::obs::{self, Event, EventJournal, H2pTable, JobObs, Progress};
+use crate::obs::{self, Event, EventJournal, FlightRecorder, H2pTable, JobObs, Progress};
 use crate::predictor::ConditionalPredictor;
 use crate::registry::{BuildError, Params, PredictorRegistry, PredictorSpec};
 use crate::runner::SuiteRunner;
@@ -157,6 +157,15 @@ pub struct SweepOptions {
     pub events: Option<PathBuf>,
     /// Draw a live stderr progress line (jobs done/failed/ETA).
     pub progress: bool,
+    /// Flight-recorder ring capacity in records; `0` disables the
+    /// recorder. Takes effect only together with
+    /// [`SweepOptions::postmortem_dir`]. Never perturbs the
+    /// `bfbp-sweep/2` or `bfbp-metrics/1` documents.
+    pub flight_recorder: usize,
+    /// Directory `bfbp-postmortem/1` dumps are written to (one
+    /// `job-<index>.postmortem.json` per dead attempt) when a job
+    /// fails, times out, panics, or is killed.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for SweepOptions {
@@ -182,6 +191,8 @@ impl SweepOptions {
             metrics: false,
             events: None,
             progress: false,
+            flight_recorder: 0,
+            postmortem_dir: None,
         }
     }
 
@@ -261,13 +272,26 @@ impl SweepOptions {
         self
     }
 
+    /// Enables the misprediction flight recorder: every in-flight job
+    /// keeps its last `capacity` decisions (PC, kind, prediction,
+    /// outcome, provenance) in a ring, and any attempt that fails,
+    /// times out, panics, or is killed dumps the ring as a
+    /// `bfbp-postmortem/1` document to `<dir>/job-<index>.postmortem.json`.
+    pub fn with_flight_recorder(mut self, capacity: usize, dir: impl Into<PathBuf>) -> Self {
+        self.flight_recorder = capacity;
+        self.postmortem_dir = Some(dir.into());
+        self
+    }
+
     /// Overlays environment-driven knobs on the defaults:
     /// `BFBP_SWEEP_RETRIES` (extra attempts after the first),
     /// `BFBP_SWEEP_BACKOFF_MS`, `BFBP_SWEEP_TIMEOUT_MS`,
     /// `BFBP_SWEEP_METRICS` (any value except `0`/empty enables
     /// metrics/H2P collection), `BFBP_SWEEP_EVENTS` (event-journal
-    /// path), and `BFBP_SWEEP_CKPT_EVERY` / `BFBP_SWEEP_CKPT_DIR`
-    /// (mid-job checkpoint cadence and directory). Unset or malformed
+    /// path), `BFBP_SWEEP_CKPT_EVERY` / `BFBP_SWEEP_CKPT_DIR`
+    /// (mid-job checkpoint cadence and directory), and
+    /// `BFBP_SWEEP_FLIGHT` / `BFBP_SWEEP_FLIGHT_DIR` (flight-recorder
+    /// capacity and postmortem directory). Unset or malformed
     /// variables leave the defaults untouched.
     pub fn from_env() -> Self {
         Self::from_env_with(|name| std::env::var(name).ok())
@@ -301,6 +325,12 @@ impl SweepOptions {
         }
         if let Some(dir) = lookup("BFBP_SWEEP_CKPT_DIR").filter(|p| !p.is_empty()) {
             options.checkpoint_dir = Some(PathBuf::from(dir));
+        }
+        if let Some(capacity) = num("BFBP_SWEEP_FLIGHT") {
+            options.flight_recorder = capacity as usize;
+        }
+        if let Some(dir) = lookup("BFBP_SWEEP_FLIGHT_DIR").filter(|p| !p.is_empty()) {
+            options.postmortem_dir = Some(PathBuf::from(dir));
         }
         options
     }
@@ -606,6 +636,15 @@ impl TraceInput {
             TraceInput::Ready(trace) => trace.name(),
             TraceInput::Streamed(streamed) => streamed.name(),
             TraceInput::Unavailable { name, .. } => name,
+        }
+    }
+
+    /// How many records the input delivers per job (0 when unavailable).
+    pub fn n_records(&self) -> u64 {
+        match self {
+            TraceInput::Ready(trace) => trace.len() as u64,
+            TraceInput::Streamed(streamed) => streamed.n_records() as u64,
+            TraceInput::Unavailable { .. } => 0,
         }
     }
 }
@@ -1087,6 +1126,10 @@ struct SweepContext<'a> {
     events: Option<EventJournal>,
     /// Live stderr progress line shared by all workers.
     progress: Option<Progress>,
+    /// Flight-recorder ring capacity; `0` disables per-job recording.
+    flight_capacity: usize,
+    /// Directory postmortem dumps are written to when an attempt dies.
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl SweepContext<'_> {
@@ -1223,6 +1266,13 @@ impl SweepContext<'_> {
         };
         let spec = &self.specs[job / self.n_traces];
         let ckpt_path = self.ckpt_path(job);
+        // The flight recorder lives OUTSIDE the unwind boundary: a
+        // predictor panic mid-simulation must not take the black box
+        // down with it — the recorded window up to the panic is exactly
+        // what the postmortem needs.
+        let mut flight = (self.flight_capacity > 0 && self.postmortem_dir.is_some())
+            .then(|| FlightRecorder::new(self.flight_capacity));
+        let flight_ref = &mut flight;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(Fault::Panic { first_attempts }) = fault {
                 if attempt <= *first_attempts {
@@ -1377,6 +1427,12 @@ impl SweepContext<'_> {
             if let Some(snapshot) = resume {
                 sim = sim.resume_from(snapshot);
             }
+            if let Some(recorder) = flight_ref.as_mut() {
+                // A retried attempt starts a fresh simulation; stale
+                // entries from the previous attempt would lie about it.
+                recorder.clear();
+                sim = sim.recorder(recorder);
+            }
             let driven = match &mut opened {
                 OpenedInput::Ready(trace) => sim.run_trace(trace),
                 OpenedInput::Source(source) => sim.run(source.as_mut()),
@@ -1418,12 +1474,71 @@ impl SweepContext<'_> {
                 obs,
             ))
         }));
-        match outcome {
+        let result = match outcome {
             Ok(result) => result,
             Err(payload) => Err(AttemptError::Failed(format!(
                 "panic: {}",
                 panic_message(payload)
             ))),
+        };
+        // Any attempt-terminal error — failure, panic, watchdog
+        // cancellation, injected kill — dumps the black box before the
+        // error propagates; a later successful attempt leaves the dump
+        // of the last dead one for inspection.
+        if let Err(err) = &result {
+            let (status, detail) = match err {
+                AttemptError::Failed(msg) => ("failed", msg.clone()),
+                AttemptError::Cancelled => ("timed_out", format!("attempt {attempt} cancelled")),
+                AttemptError::Killed(records) => {
+                    ("killed", format!("killed after {records} records"))
+                }
+            };
+            self.write_postmortem(job, status, &detail, flight.as_ref());
+        }
+        result
+    }
+
+    /// Writes job `job`'s `bfbp-postmortem/1` dump (atomic tmp+rename,
+    /// like checkpoint files) and references it from the event journal.
+    /// Best-effort: a failed write warns and the job error still
+    /// propagates unchanged.
+    fn write_postmortem(
+        &self,
+        job: usize,
+        status: &str,
+        detail: &str,
+        recorder: Option<&FlightRecorder>,
+    ) {
+        let (Some(recorder), Some(dir)) = (recorder, self.postmortem_dir.as_ref()) else {
+            return;
+        };
+        let series = self.specs[job / self.n_traces].label();
+        let trace = self.inputs[job % self.n_traces].name();
+        let json = obs::postmortem_json(recorder, &series, trace, job, status, detail);
+        let path = dir.join(format!("job-{job}.postmortem.json"));
+        match ckpt::write_atomic(&path, json.as_bytes()) {
+            Ok(()) => self.emit(
+                Event::new("postmortem")
+                    .num("job", job as u64)
+                    .str("status", status)
+                    .num("entries", recorder.len() as u64)
+                    .str("file", &path.display().to_string()),
+            ),
+            Err(e) => eprintln!("warning: cannot write postmortem {}: {e}", path.display()),
+        }
+    }
+
+    /// Feeds one finished job into the live progress line, crediting its
+    /// trace's record count (successful jobs only) toward the
+    /// records/sec rate.
+    fn tick_progress(&self, job: usize, outcome: &JobOutcome) {
+        if let Some(progress) = &self.progress {
+            let records = if outcome.is_ok() {
+                self.inputs[job % self.n_traces].n_records()
+            } else {
+                0
+            };
+            progress.tick(outcome.is_ok(), records, outcome.wall.as_secs_f64());
         }
     }
 
@@ -1716,6 +1831,8 @@ pub fn sweep_inputs(
         collect_metrics: options.metrics,
         events,
         progress: options.progress.then(|| Progress::new(pending.len())),
+        flight_capacity: options.flight_recorder,
+        postmortem_dir: options.postmortem_dir.clone(),
     };
     context.emit(
         Event::new("sweep_open")
@@ -1736,9 +1853,7 @@ pub fn sweep_inputs(
             };
             let (outcome, obs) = context.run_job(job, &cancel);
             context.checkpoint(job, &outcome);
-            if let Some(progress) = &context.progress {
-                progress.tick(outcome.is_ok());
-            }
+            context.tick_progress(job, &outcome);
             executed[job] = Some((outcome, obs));
         }
     } else {
@@ -1789,9 +1904,7 @@ pub fn sweep_inputs(
                             lock_or_recover(&deadlines)[job] = None;
                         }
                         context.checkpoint(job, &outcome);
-                        if let Some(progress) = &context.progress {
-                            progress.tick(outcome.is_ok());
-                        }
+                        context.tick_progress(job, &outcome);
                         lock_or_recover(&slots)[job] = Some((outcome, obs));
                     })
                 })

@@ -1,0 +1,788 @@
+//! Postmortem forensics: reading back what the observability layer
+//! wrote.
+//!
+//! Everything else in the workspace only *produces* JSON (hand-rendered,
+//! dependency-free); this module is the matching consumer — a small
+//! recursive-descent [`JsonValue`] parser, a `bfbp-events/1` journal
+//! reader ([`parse_events`] / [`read_events`]) with the same
+//! torn-final-line tolerance as the checkpoint journal, and a
+//! [`chrome_trace`] exporter that turns any events journal into a Chrome
+//! Trace Format document loadable in `chrome://tracing` or Perfetto.
+//!
+//! The parser is deliberately forgiving about vocabulary — unknown event
+//! kinds and unknown keys are preserved, not rejected — so newer
+//! journals keep loading in older tooling and vice versa.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::engine::{json_f64, json_string};
+
+/// A parsed JSON value. Object keys keep their file order; numbers are
+/// stored as `f64` (the only number type JSON has).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (escapes resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in file order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (`None` for other kinds or missing
+    /// keys). First match wins, matching every sane JSON producer.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, when it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, when it is a number that
+    /// round-trips to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Why a JSON text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the parser stopped at.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, reason: &'static str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, reason: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(reason))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("unrecognized literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // writers; lone surrogates degrade to the
+                            // replacement character instead of an error.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str
+                    // upstream, so boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| self.err("malformed number"))
+    }
+}
+
+/// Parses one complete JSON value (trailing whitespace allowed, trailing
+/// garbage rejected).
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first problem.
+pub fn parse_json(text: &str) -> Result<JsonValue, JsonError> {
+    let mut parser = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing garbage after value"));
+    }
+    Ok(value)
+}
+
+/// One parsed `bfbp-events/1` line: the event kind, its timestamp, and
+/// every field (known or not) as parsed JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEvent {
+    /// The event kind (`sweep_open`, `job_close`, …).
+    pub ev: String,
+    /// Microseconds since the journal opened (monotonic in file order).
+    pub t_us: u64,
+    /// The full line as a parsed object — `ev` and `t_us` included, plus
+    /// any keys this tooling has never heard of.
+    pub fields: JsonValue,
+}
+
+impl ParsedEvent {
+    /// Field lookup on the underlying object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.get(key)
+    }
+
+    /// The `job` field, when present.
+    pub fn job(&self) -> Option<u64> {
+        self.get("job").and_then(JsonValue::as_u64)
+    }
+}
+
+/// Why an events journal failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventsError {
+    /// Filesystem failure (rendered).
+    Io(String),
+    /// A non-final line did not parse, or parsed to something that is
+    /// not an event object.
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EventsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventsError::Io(e) => write!(f, "cannot read events journal: {e}"),
+            EventsError::Line { line, reason } => {
+                write!(f, "events journal line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventsError {}
+
+/// Parses a `bfbp-events/1` journal text into its event lines.
+///
+/// A malformed **final** line is tolerated and dropped — a crashed
+/// writer loses at most the line it was mid-append on, the same model as
+/// the checkpoint journal. A malformed earlier line is a hard error
+/// (something other than a torn tail corrupted the file). Unknown event
+/// kinds and unknown keys pass through untouched.
+///
+/// # Errors
+///
+/// [`EventsError::Line`] for a malformed non-final line.
+pub fn parse_events(text: &str) -> Result<Vec<ParsedEvent>, EventsError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let last = lines.len().saturating_sub(1);
+    let mut events = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse_json(line).and_then(|value| {
+            let ev = value
+                .get("ev")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned);
+            let t_us = value.get("t_us").and_then(JsonValue::as_u64);
+            match (ev, t_us) {
+                (Some(ev), Some(t_us)) => Ok(ParsedEvent {
+                    ev,
+                    t_us,
+                    fields: value,
+                }),
+                _ => Err(JsonError {
+                    offset: 0,
+                    reason: "missing \"ev\" or \"t_us\"",
+                }),
+            }
+        });
+        match parsed {
+            Ok(event) => events.push(event),
+            // Only the LAST line may be torn; anything earlier is
+            // corruption, not a crash artifact.
+            Err(_) if i == last => break,
+            Err(e) => {
+                return Err(EventsError::Line {
+                    line: i + 1,
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// [`parse_events`] over the file at `path`.
+///
+/// # Errors
+///
+/// [`EventsError::Io`] when the file cannot be read, otherwise as
+/// [`parse_events`].
+pub fn read_events(path: impl AsRef<Path>) -> Result<Vec<ParsedEvent>, EventsError> {
+    let text =
+        std::fs::read_to_string(path.as_ref()).map_err(|e| EventsError::Io(e.to_string()))?;
+    parse_events(&text)
+}
+
+/// The synthetic Chrome-trace process id every exported event carries
+/// (the journal records one process).
+const CHROME_PID: u64 = 1;
+
+/// The Chrome-trace thread id the sweep-level span and un-attributed
+/// instants render on; job `j` renders on tid `j + 1`.
+const CHROME_SWEEP_TID: u64 = 0;
+
+fn chrome_event(
+    out: &mut Vec<String>,
+    name: &str,
+    ph: char,
+    ts: u64,
+    dur: Option<u64>,
+    tid: u64,
+    args: &[(&str, String)],
+) {
+    let mut line = format!(
+        "{{\"name\": {}, \"ph\": \"{ph}\", \"ts\": {ts}, ",
+        json_string(name)
+    );
+    if let Some(dur) = dur {
+        line.push_str(&format!("\"dur\": {dur}, "));
+    }
+    if ph == 'i' {
+        // Thread-scoped instant: renders as a tick on its row.
+        line.push_str("\"s\": \"t\", ");
+    }
+    line.push_str(&format!("\"pid\": {CHROME_PID}, \"tid\": {tid}"));
+    if !args.is_empty() {
+        line.push_str(", \"args\": {");
+        for (i, (key, value)) in args.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            line.push_str(&format!("{}: {value}", json_string(key)));
+        }
+        line.push('}');
+    }
+    line.push('}');
+    out.push(line);
+}
+
+fn arg_of(event: &ParsedEvent, key: &str) -> Option<(String, String)> {
+    event.get(key).map(|value| {
+        let rendered = match value {
+            JsonValue::Null => "null".to_owned(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Num(n) => json_f64(*n),
+            JsonValue::Str(s) => json_string(s),
+            // Nested values never appear in event lines today; render
+            // them as their debug text to stay total.
+            other => json_string(&format!("{other:?}")),
+        };
+        (key.to_owned(), rendered)
+    })
+}
+
+/// Exports parsed `bfbp-events/1` lines as a Chrome Trace Format
+/// document (`{"traceEvents": [...]}`), loadable in `chrome://tracing`
+/// and Perfetto.
+///
+/// Span mapping:
+/// * the `sweep_open` → `sweep_close` pair becomes one complete (`"X"`)
+///   span on tid 0;
+/// * each `job_open` → `job_close` pair becomes a complete span on tid
+///   `job + 1`, named `series/trace` and carrying status, attempts, and
+///   MPKI as args;
+/// * a job's `interval` events become proportional slices of its span —
+///   the journal records interval *contents*, not wall-clock interval
+///   boundaries, so slice widths are trace-relative (each interval's
+///   share of the job's instructions), not measured time;
+/// * `retry`, `timeout`, `killed`, `ckpt_*`, `postmortem`, and
+///   `trace_cache` events become thread-scoped instants (`"i"`) on their
+///   job's row.
+///
+/// Unpaired opens (a dead sweep) close at the last timestamp in the
+/// journal, so a crashed run still renders.
+pub fn chrome_trace(events: &[ParsedEvent]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let last_t = events.iter().map(|e| e.t_us).max().unwrap_or(0);
+
+    // Sweep span: first sweep_open to last sweep_close (or end).
+    if let Some(open) = events.iter().find(|e| e.ev == "sweep_open") {
+        let close = events
+            .iter()
+            .rev()
+            .find(|e| e.ev == "sweep_close")
+            .map_or(last_t, |e| e.t_us);
+        let args: Vec<(&str, String)> = ["jobs", "pending", "series", "traces", "threads"]
+            .into_iter()
+            .filter_map(|key| arg_of(open, key).map(|(_, v)| (key, v)))
+            .collect();
+        chrome_event(
+            &mut out,
+            "sweep",
+            'X',
+            open.t_us,
+            Some(close.saturating_sub(open.t_us).max(1)),
+            CHROME_SWEEP_TID,
+            &args,
+        );
+    }
+
+    // Job spans, keyed by job index: open time + identity from
+    // job_open, duration + outcome from job_close.
+    for open in events.iter().filter(|e| e.ev == "job_open") {
+        let Some(job) = open.job() else { continue };
+        let close = events
+            .iter()
+            .find(|e| e.ev == "job_close" && e.job() == Some(job) && e.t_us >= open.t_us);
+        let close_t = close.map_or(last_t, |e| e.t_us);
+        let series = open
+            .get("series")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("?");
+        let trace = open.get("trace").and_then(JsonValue::as_str).unwrap_or("?");
+        let name = format!("{series}/{trace}");
+        let mut args: Vec<(&str, String)> = vec![("job", job.to_string())];
+        if let Some(close) = close {
+            for key in ["status", "attempts", "wall_ms", "mpki", "error"] {
+                if let Some((_, v)) = arg_of(close, key) {
+                    args.push((key, v));
+                }
+            }
+        }
+        let dur = close_t.saturating_sub(open.t_us).max(1);
+        chrome_event(&mut out, &name, 'X', open.t_us, Some(dur), job + 1, &args);
+
+        // Interval slices: proportional partitions of the job span by
+        // each interval's share of the job's instructions (the journal
+        // has no per-interval wall clock).
+        let intervals: Vec<&ParsedEvent> = events
+            .iter()
+            .filter(|e| e.ev == "interval" && e.job() == Some(job))
+            .collect();
+        let total_insts: f64 = intervals
+            .iter()
+            .filter_map(|e| e.get("instructions").and_then(JsonValue::as_f64))
+            .sum();
+        if total_insts > 0.0 {
+            let mut cursor = open.t_us as f64;
+            let span = dur as f64;
+            for iv in &intervals {
+                let insts = iv
+                    .get("instructions")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0);
+                let width = span * insts / total_insts;
+                let index = iv
+                    .get("index")
+                    .and_then(JsonValue::as_u64)
+                    .unwrap_or_default();
+                let mut args: Vec<(&str, String)> = vec![("index", index.to_string())];
+                for key in ["instructions", "mispredictions", "mpki"] {
+                    if let Some((_, v)) = arg_of(iv, key) {
+                        args.push((key, v));
+                    }
+                }
+                chrome_event(
+                    &mut out,
+                    &format!("interval {index}"),
+                    'X',
+                    cursor as u64,
+                    Some((width as u64).max(1)),
+                    job + 1,
+                    &args,
+                );
+                cursor += width;
+            }
+        }
+    }
+
+    // Instants: every punctual event renders as a tick on its job's row
+    // (or the sweep row when it names no job).
+    for event in events {
+        let instant = matches!(
+            event.ev.as_str(),
+            "retry"
+                | "timeout"
+                | "killed"
+                | "ckpt_write"
+                | "ckpt_restore"
+                | "ckpt_quarantined"
+                | "postmortem"
+                | "trace_cache"
+        );
+        if !instant {
+            continue;
+        }
+        let tid = event.job().map_or(CHROME_SWEEP_TID, |j| j + 1);
+        let mut args: Vec<(&str, String)> = Vec::new();
+        if let JsonValue::Obj(members) = &event.fields {
+            for (key, _) in members {
+                if key == "ev" || key == "t_us" {
+                    continue;
+                }
+                if let Some((_, v)) = arg_of(event, key) {
+                    // `args` borrows `key` from the event, which outlives
+                    // this loop body.
+                    args.push((key.as_str(), v));
+                }
+            }
+        }
+        chrome_event(&mut out, &event.ev, 'i', event.t_us, None, tid, &args);
+    }
+
+    let mut doc = String::from("{\"traceEvents\": [\n");
+    for (i, line) in out.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        doc.push_str("  ");
+        doc.push_str(line);
+    }
+    doc.push_str("\n]}\n");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse_json(r#"{"a": 1, "b": [true, null, -2.5], "c": {"d": "x\ny"}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        let arr = v.get("b").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_f64(), Some(-2.5));
+        assert_eq!(
+            v.get("c")
+                .and_then(|c| c.get("d"))
+                .and_then(JsonValue::as_str),
+            Some("x\ny")
+        );
+        assert_eq!(parse_json("[]").unwrap(), JsonValue::Arr(vec![]));
+        assert_eq!(parse_json("{}").unwrap(), JsonValue::Obj(vec![]));
+        assert_eq!(
+            parse_json("\"\\u0041\\\"\"").unwrap(),
+            JsonValue::Str("A\"".to_owned())
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nulll").is_err());
+        assert!(!parse_json("{\"a\":}")
+            .map_err(|e| e.to_string())
+            .unwrap_err()
+            .is_empty());
+    }
+
+    #[test]
+    fn events_tolerate_torn_tail_only() {
+        let good = "{\"ev\": \"journal_open\", \"t_us\": 0, \"schema\": \"bfbp-events/1\"}\n\
+                    {\"ev\": \"job_open\", \"t_us\": 5, \"job\": 0, \"mystery_key\": [1]}\n";
+        let torn = format!("{good}{{\"ev\": \"job_clo");
+        let events = parse_events(&torn).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].ev, "job_open");
+        assert_eq!(events[1].job(), Some(0));
+        // Unknown keys survive parsing.
+        assert!(events[1].get("mystery_key").is_some());
+        // The same malformed line anywhere but the end is a hard error.
+        let corrupt = format!("{{\"ev\": \"job_clo\n{good}");
+        assert!(parse_events(&corrupt).is_err());
+        // Missing required keys on a non-final line is also a hard error.
+        let keyless = format!("{{\"not_an_event\": true}}\n{good}");
+        assert!(matches!(
+            parse_events(&keyless),
+            Err(EventsError::Line { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_instants() {
+        let journal = "\
+{\"ev\": \"journal_open\", \"t_us\": 0, \"schema\": \"bfbp-events/1\"}
+{\"ev\": \"sweep_open\", \"t_us\": 1, \"jobs\": 2, \"threads\": 1}
+{\"ev\": \"job_open\", \"t_us\": 2, \"job\": 0, \"series\": \"s\", \"trace\": \"t\"}
+{\"ev\": \"interval\", \"t_us\": 5, \"job\": 0, \"index\": 0, \"instructions\": 100, \"mispredictions\": 3, \"mpki\": 30.0}
+{\"ev\": \"interval\", \"t_us\": 8, \"job\": 0, \"index\": 1, \"instructions\": 300, \"mispredictions\": 1, \"mpki\": 3.33}
+{\"ev\": \"job_close\", \"t_us\": 10, \"job\": 0, \"series\": \"s\", \"trace\": \"t\", \"status\": \"ok\", \"attempts\": 1, \"wall_ms\": 0.5, \"mpki\": 10.0}
+{\"ev\": \"retry\", \"t_us\": 12, \"job\": 1, \"attempt\": 1, \"error\": \"boom\"}
+{\"ev\": \"killed\", \"t_us\": 14, \"job\": 1, \"attempt\": 2, \"records\": 4096}
+{\"ev\": \"sweep_close\", \"t_us\": 20, \"ok\": 1, \"failed\": 0}
+";
+        let events = parse_events(journal).unwrap();
+        let trace = chrome_trace(&events);
+        // The export itself must be valid JSON (parse it back).
+        let doc = parse_json(&trace).unwrap();
+        let items = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+        assert!(!items.is_empty());
+        for item in items {
+            let ph = item.get("ph").and_then(JsonValue::as_str).unwrap();
+            assert!(ph == "X" || ph == "i", "{item:?}");
+            assert!(item.get("ts").and_then(JsonValue::as_u64).is_some());
+            assert!(item.get("pid").and_then(JsonValue::as_u64).is_some());
+            assert!(item.get("tid").and_then(JsonValue::as_u64).is_some());
+            if ph == "X" {
+                assert!(item.get("dur").and_then(JsonValue::as_u64).unwrap() >= 1);
+            }
+        }
+        // Sweep span on tid 0 spanning open→close.
+        let sweep = items
+            .iter()
+            .find(|i| i.get("name").and_then(JsonValue::as_str) == Some("sweep"))
+            .unwrap();
+        assert_eq!(sweep.get("ts").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(sweep.get("dur").and_then(JsonValue::as_u64), Some(19));
+        assert_eq!(sweep.get("tid").and_then(JsonValue::as_u64), Some(0));
+        // Job span named series/trace on tid job+1.
+        let job = items
+            .iter()
+            .find(|i| i.get("name").and_then(JsonValue::as_str) == Some("s/t"))
+            .unwrap();
+        assert_eq!(job.get("tid").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(job.get("dur").and_then(JsonValue::as_u64), Some(8));
+        // Intervals partition the job span proportionally (100:300).
+        let iv0 = items
+            .iter()
+            .find(|i| i.get("name").and_then(JsonValue::as_str) == Some("interval 0"))
+            .unwrap();
+        assert_eq!(iv0.get("ts").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(iv0.get("dur").and_then(JsonValue::as_u64), Some(2));
+        // Instants for retry and killed on job 1's row.
+        let instants: Vec<_> = items
+            .iter()
+            .filter(|i| i.get("ph").and_then(JsonValue::as_str) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        for instant in instants {
+            assert_eq!(instant.get("tid").and_then(JsonValue::as_u64), Some(2));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_closes_unpaired_spans_at_journal_end() {
+        let journal = "\
+{\"ev\": \"sweep_open\", \"t_us\": 1, \"jobs\": 1}
+{\"ev\": \"job_open\", \"t_us\": 2, \"job\": 0, \"series\": \"s\", \"trace\": \"t\"}
+{\"ev\": \"timeout\", \"t_us\": 9, \"job\": 0, \"attempt\": 1}
+";
+        let events = parse_events(journal).unwrap();
+        let doc = parse_json(&chrome_trace(&events)).unwrap();
+        let items = doc.get("traceEvents").and_then(JsonValue::as_arr).unwrap();
+        let job = items
+            .iter()
+            .find(|i| i.get("name").and_then(JsonValue::as_str) == Some("s/t"))
+            .unwrap();
+        // Open at 2, journal ends at 9.
+        assert_eq!(job.get("dur").and_then(JsonValue::as_u64), Some(7));
+        assert!(job.get("args").and_then(|a| a.get("status")).is_none());
+    }
+}

@@ -23,6 +23,7 @@
 pub mod ckpt;
 pub mod engine;
 pub mod fault;
+pub mod forensics;
 pub mod journal;
 pub mod obs;
 pub mod predictor;
@@ -39,12 +40,17 @@ pub use engine::{
     StreamedTrace, SweepError, SweepOptions, SweepReport, TraceInput,
 };
 pub use fault::{Fault, FaultPlan, FaultPlanParseError};
+pub use forensics::{
+    chrome_trace, parse_events, parse_json, read_events, EventsError, JsonError, JsonValue,
+    ParsedEvent,
+};
 pub use journal::{Journal, JournalError};
 pub use obs::{
-    saturation_fraction, BranchStats, Event, EventJournal, H2pTable, Histogram, JobObs, Metrics,
-    PredictorIntrospect, Progress, EVENTS_SCHEMA, H2P_TOP_N, METRICS_SCHEMA,
+    postmortem_json, saturation_fraction, BranchStats, Event, EventJournal, FlightEntry,
+    FlightRecorder, H2pTable, Histogram, JobObs, Metrics, PredictorIntrospect, Progress,
+    EVENTS_SCHEMA, H2P_TOP_N, METRICS_SCHEMA, POSTMORTEM_SCHEMA,
 };
-pub use predictor::ConditionalPredictor;
+pub use predictor::{ConditionalPredictor, Provenance};
 pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
 pub use simulate::{
     mean_mpki, simulate, IntervalPoint, SimResult, Simulation, SimulationAborted, SimulationError,

@@ -24,14 +24,20 @@ use std::path::Path;
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
+use bfbp_trace::record::BranchKind;
+
 use crate::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use crate::engine::{json_f64, json_string};
+use crate::predictor::Provenance;
 
 /// Schema identifier of the span/event journal (one JSON object per line).
 pub const EVENTS_SCHEMA: &str = "bfbp-events/1";
 
 /// Schema identifier of the per-sweep metrics document.
 pub const METRICS_SCHEMA: &str = "bfbp-metrics/1";
+
+/// Schema identifier of flight-recorder postmortem dumps.
+pub const POSTMORTEM_SCHEMA: &str = "bfbp-postmortem/1";
 
 /// How many hard-to-predict PCs the metrics document keeps per job.
 pub const H2P_TOP_N: usize = 32;
@@ -81,13 +87,55 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank, the
+    /// standard fixed-bucket estimate. The first bucket's lower edge is
+    /// taken as `min(0, bound)`; ranks landing in the unbounded overflow
+    /// bucket are reported as the last finite bound. Returns `None` when
+    /// nothing has been observed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            let below = cumulative as f64;
+            cumulative += count;
+            if cumulative as f64 >= rank && count > 0 {
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: no upper edge to interpolate
+                    // toward; the last finite bound is the best estimate.
+                    None => return self.bounds.last().copied(),
+                };
+                let lower = if i == 0 {
+                    upper.min(0.0)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let frac = ((rank - below) / count as f64).clamp(0.0, 1.0);
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        self.bounds.last().copied()
+    }
+
     fn to_json(&self) -> String {
         let bounds: Vec<String> = self.bounds.iter().map(|b| json_f64(*b)).collect();
         let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        let quant = |q: f64| match self.quantile(q) {
+            Some(v) => json_f64(v),
+            None => "null".to_owned(),
+        };
         format!(
-            "{{\"bounds\": [{}], \"counts\": [{}]}}",
+            "{{\"bounds\": [{}], \"counts\": [{}], \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
             bounds.join(", "),
-            counts.join(", ")
+            counts.join(", "),
+            quant(0.5),
+            quant(0.9),
+            quant(0.99)
         )
     }
 }
@@ -471,6 +519,205 @@ pub fn job_obs_json(series: &str, trace: &str, obs: Option<&JobObs>, top: usize)
     out
 }
 
+/// One recorded decision in the [`FlightRecorder`] ring: the per-record
+/// forensic unit a postmortem dump is made of.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlightEntry {
+    /// Zero-based index of the record within the job's trace.
+    pub index: u64,
+    /// The branch's program counter.
+    pub pc: u64,
+    /// The record's control-transfer kind.
+    pub kind: BranchKind,
+    /// The direction the predictor guessed. For non-conditional records
+    /// (which are never predicted) this mirrors `outcome`.
+    pub predicted: bool,
+    /// The committed direction.
+    pub outcome: bool,
+    /// Attribution for the prediction, when the predictor exports one
+    /// (conditional records only).
+    pub provenance: Option<Provenance>,
+}
+
+impl FlightEntry {
+    /// Whether the predictor got this record wrong. Always `false` for
+    /// non-conditional records.
+    pub fn mispredicted(&self) -> bool {
+        self.kind.is_conditional() && self.predicted != self.outcome
+    }
+
+    fn to_json(self) -> String {
+        let opt_bool = |v: Option<bool>| match v {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        };
+        let provenance = match &self.provenance {
+            Some(p) => format!(
+                "{{\"component\": {}, \"table\": {}, \"prediction\": {}, \
+                 \"alternate\": {}, \"counter\": {}, \"margin\": {}, \"history_len\": {}}}",
+                json_string(p.component),
+                p.table.map_or_else(|| "null".to_owned(), |v| v.to_string()),
+                p.prediction,
+                opt_bool(p.alternate),
+                p.counter
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+                p.margin
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+                p.history_len
+                    .map_or_else(|| "null".to_owned(), |v| v.to_string()),
+            ),
+            None => "null".to_owned(),
+        };
+        format!(
+            "{{\"i\": {}, \"pc\": \"{:#x}\", \"kind\": {}, \"predicted\": {}, \
+             \"taken\": {}, \"mispredicted\": {}, \"provenance\": {}}}",
+            self.index,
+            self.pc,
+            json_string(&self.kind.to_string()),
+            self.predicted,
+            self.outcome,
+            self.mispredicted(),
+            provenance
+        )
+    }
+}
+
+/// A fixed-capacity ring buffer of the last N prediction decisions — the
+/// black box a postmortem dump reads after a job dies.
+///
+/// Strictly off the results path: recording is O(1) per record with zero
+/// steady-state allocation (the ring is allocated once, up front), never
+/// feeds anything back into the predictor, and a recorder-on run
+/// produces byte-identical `bfbp-sweep/2`/`bfbp-metrics/1` documents to
+/// a recorder-off run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    entries: Vec<FlightEntry>,
+    capacity: usize,
+    head: usize,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` decisions
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries the ring currently holds (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total decisions ever recorded, including those the ring has since
+    /// evicted.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Records one decision, evicting the oldest entry once the ring is
+    /// full. O(1), allocation-free after the ring fills.
+    #[inline]
+    pub fn record(&mut self, entry: FlightEntry) {
+        self.total += 1;
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+        }
+        self.head += 1;
+        if self.head == self.capacity {
+            self.head = 0;
+        }
+    }
+
+    /// Forgets everything recorded so far (the allocation is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+
+    /// The retained entries in chronological order, oldest first.
+    pub fn entries(&self) -> Vec<FlightEntry> {
+        if self.entries.len() < self.capacity {
+            self.entries.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.entries[self.head..]);
+            out.extend_from_slice(&self.entries[..self.head]);
+            out
+        }
+    }
+
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<FlightEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let i = if self.head == 0 {
+            self.entries.len() - 1
+        } else {
+            self.head - 1
+        };
+        Some(self.entries[i])
+    }
+}
+
+/// Renders one `bfbp-postmortem/1` document: job identity, how it died,
+/// and the flight recorder's retained window, oldest entry first.
+pub fn postmortem_json(
+    recorder: &FlightRecorder,
+    series: &str,
+    trace: &str,
+    job: usize,
+    status: &str,
+    detail: &str,
+) -> String {
+    let mut out = format!(
+        "{{\n  \"schema\": {},\n  \"job\": {},\n  \"series\": {},\n  \"trace\": {},\n  \
+         \"status\": {},\n  \"detail\": {},\n  \"recorded\": {},\n  \"capacity\": {},\n  \
+         \"entries\": [",
+        json_string(POSTMORTEM_SCHEMA),
+        job,
+        json_string(series),
+        json_string(trace),
+        json_string(status),
+        json_string(detail),
+        recorder.total_recorded(),
+        recorder.capacity()
+    );
+    for (i, entry) in recorder.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&entry.to_json());
+    }
+    if !recorder.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
 /// One event line under construction for the [`EventJournal`].
 ///
 /// Fields are rendered in insertion order after the journal-stamped
@@ -554,6 +801,11 @@ impl EventJournal {
     }
 
     fn with_options(path: &Path, truncate: bool) -> std::io::Result<Self> {
+        // Same courtesy as the results and postmortem writers: a journal
+        // pointed into a not-yet-created directory creates it.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
         let file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -599,10 +851,13 @@ impl EventJournal {
 struct ProgressState {
     done: usize,
     failed: usize,
+    records: u64,
+    busy_secs: f64,
 }
 
 /// A live single-line stderr progress report for sweeps: jobs done and
-/// failed plus a naive rate-based ETA, rewritten in place with `\r`.
+/// failed, aggregate simulation throughput, and an ETA derived from
+/// completed-job wall times, rewritten in place with `\r`.
 #[derive(Debug)]
 pub struct Progress {
     total: usize,
@@ -616,29 +871,54 @@ impl Progress {
         Self {
             total,
             start: Instant::now(),
-            state: Mutex::new(ProgressState { done: 0, failed: 0 }),
+            state: Mutex::new(ProgressState {
+                done: 0,
+                failed: 0,
+                records: 0,
+                busy_secs: 0.0,
+            }),
         }
     }
 
     /// Records one finished job (`ok == false` counts toward the failed
-    /// tally) and redraws the line.
-    pub fn tick(&self, ok: bool) {
-        let (done, failed) = {
+    /// tally; `records` and `wall_secs` are the job's trace length and
+    /// wall time) and redraws the line.
+    ///
+    /// The ETA scales the mean completed-job wall time by the remaining
+    /// job count, divided by the effective parallelism observed so far
+    /// (summed job time over elapsed time) — so it stays honest whether
+    /// the sweep runs serial or wide.
+    pub fn tick(&self, ok: bool, records: u64, wall_secs: f64) {
+        let (done, failed, records_total, busy) = {
             let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             state.done += 1;
             state.failed += usize::from(!ok);
-            (state.done, state.failed)
+            state.records += records;
+            state.busy_secs += wall_secs.max(0.0);
+            (state.done, state.failed, state.records, state.busy_secs)
         };
         let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            records_total as f64 / elapsed
+        } else {
+            0.0
+        };
         let eta = if done > 0 {
             let remaining = self.total.saturating_sub(done) as f64;
-            elapsed / done as f64 * remaining
+            let mean_wall = busy / done as f64;
+            let parallelism = if elapsed > 0.0 {
+                (busy / elapsed).max(1.0)
+            } else {
+                1.0
+            };
+            remaining * mean_wall / parallelism
         } else {
             f64::NAN
         };
         eprint!(
-            "\r[sweep] {done}/{} jobs done ({failed} failed), ETA {eta:.0}s        ",
-            self.total
+            "\r[sweep] {done}/{} jobs done ({failed} failed), {:.3}M rec/s, ETA {eta:.0}s        ",
+            self.total,
+            rate / 1e6
         );
     }
 
@@ -773,6 +1053,123 @@ mod tests {
         w.u64(0);
         let bad = w.into_bytes();
         assert!(trunc.load_state(&mut StateReader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new(&[10.0, 20.0, 40.0]);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..10 {
+            h.observe(5.0); // bucket <=10
+        }
+        for _ in 0..10 {
+            h.observe(15.0); // bucket <=20
+        }
+        // p50 rank = 10 of 20: exactly the top of the first bucket.
+        assert!((h.quantile(0.5).unwrap() - 10.0).abs() < 1e-9);
+        // p75 rank = 15: halfway through the 10..20 bucket.
+        assert!((h.quantile(0.75).unwrap() - 15.0).abs() < 1e-9);
+        assert!((h.quantile(0.0).unwrap() - 0.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        // Overflow-bucket ranks clamp to the last finite bound.
+        let mut over = Histogram::new(&[1.0]);
+        over.observe(99.0);
+        assert!((over.quantile(0.5).unwrap() - 1.0).abs() < 1e-9);
+        let json = h.to_json();
+        assert!(json.contains("\"p50\": 10.0"), "{json}");
+        assert!(json.contains("\"p90\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        // Empty histograms render null quantiles, never invalid JSON.
+        let empty = Histogram::new(&[1.0]);
+        assert!(empty.to_json().contains("\"p50\": null"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_null() {
+        let mut m = Metrics::new();
+        m.gauge("gauge.a", f64::NAN);
+        m.gauge("gauge.b", f64::INFINITY);
+        m.gauge("gauge.c", f64::NEG_INFINITY);
+        m.gauge("good", 1.5);
+        let json = m.to_json();
+        assert!(json.contains("\"gauge.a\": null"), "{json}");
+        assert!(json.contains("\"gauge.b\": null"), "{json}");
+        assert!(json.contains("\"gauge.c\": null"), "{json}");
+        assert!(json.contains("\"good\": 1.5"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_n_in_order() {
+        let mut rec = FlightRecorder::new(4);
+        assert!(rec.is_empty());
+        assert_eq!(rec.last(), None);
+        for i in 0..10u64 {
+            rec.record(FlightEntry {
+                index: i,
+                pc: 0x1000 + i,
+                kind: BranchKind::CondDirect,
+                predicted: i % 2 == 0,
+                outcome: true,
+                provenance: Some(Provenance::of("unit", i % 2 == 0)),
+            });
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.capacity(), 4);
+        assert_eq!(rec.total_recorded(), 10);
+        let idx: Vec<u64> = rec.entries().iter().map(|e| e.index).collect();
+        assert_eq!(idx, vec![6, 7, 8, 9]);
+        assert_eq!(rec.last().unwrap().index, 9);
+        assert!(rec.last().unwrap().mispredicted()); // predicted false, taken
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.total_recorded(), 0);
+        // Capacity 0 is clamped, not a panic.
+        let mut one = FlightRecorder::new(0);
+        one.record(FlightEntry {
+            index: 0,
+            pc: 0,
+            kind: BranchKind::Return,
+            predicted: true,
+            outcome: true,
+            provenance: None,
+        });
+        assert_eq!(one.len(), 1);
+        assert!(!one.last().unwrap().mispredicted()); // non-conditional
+    }
+
+    #[test]
+    fn postmortem_json_shape() {
+        let mut rec = FlightRecorder::new(8);
+        rec.record(FlightEntry {
+            index: 41,
+            pc: 0x4000,
+            kind: BranchKind::CondDirect,
+            predicted: true,
+            outcome: false,
+            provenance: Some(Provenance {
+                component: "tage",
+                table: Some(3),
+                prediction: true,
+                alternate: Some(false),
+                counter: Some(-2),
+                margin: None,
+                history_len: Some(27),
+            }),
+        });
+        let json = postmortem_json(&rec, "bf-tage", "SERV1", 7, "killed", "kill@7=4096");
+        assert!(json.contains("\"schema\": \"bfbp-postmortem/1\""), "{json}");
+        assert!(json.contains("\"job\": 7"), "{json}");
+        assert!(json.contains("\"status\": \"killed\""), "{json}");
+        assert!(json.contains("\"pc\": \"0x4000\""), "{json}");
+        assert!(json.contains("\"component\": \"tage\""), "{json}");
+        assert!(json.contains("\"table\": 3"), "{json}");
+        assert!(json.contains("\"counter\": -2"), "{json}");
+        assert!(json.contains("\"margin\": null"), "{json}");
+        assert!(json.contains("\"mispredicted\": true"), "{json}");
+        // Empty recorder still renders a valid document.
+        let empty = postmortem_json(&FlightRecorder::new(2), "s", "t", 0, "failed", "boom");
+        assert!(empty.contains("\"entries\": []"), "{empty}");
     }
 
     #[test]

@@ -20,6 +20,49 @@ use crate::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use crate::obs::PredictorIntrospect;
 use crate::storage::StorageBreakdown;
 
+/// Where a prediction came from: the forensic record a predictor can
+/// expose for its most recent [`ConditionalPredictor::predict`] call.
+///
+/// Every field beyond `component` and `prediction` is optional because
+/// the vocabulary differs per predictor family: TAGE variants report the
+/// providing table, its counter, and the history length it indexes;
+/// neural predictors report the perceptron margin; table predictors
+/// report the counter alone. Absent fields render as `null` in
+/// postmortem dumps rather than fabricated zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// The component that provided the final direction (`"tage"`,
+    /// `"base"`, `"loop"`, `"sc"`, `"perceptron"`, `"bst"`, `"pht"`,
+    /// `"bimodal"`, `"static"`, …).
+    pub component: &'static str,
+    /// The providing tagged table, 1-based, when the component is a
+    /// multi-table predictor (`None` for the base predictor).
+    pub table: Option<u32>,
+    /// The direction the predictor returned.
+    pub prediction: bool,
+    /// The alternate prediction that lost (TAGE altpred, the raw TAGE
+    /// direction under an SC/loop override).
+    pub alternate: Option<bool>,
+    /// The provider's saturating counter value, when counter-based.
+    pub counter: Option<i32>,
+    /// The perceptron dot-product margin, when margin-based.
+    pub margin: Option<i64>,
+    /// The history length (in branches) the provider indexed with.
+    pub history_len: Option<u32>,
+}
+
+impl Provenance {
+    /// A minimal provenance: a component and its direction, everything
+    /// else absent.
+    pub fn of(component: &'static str, prediction: bool) -> Self {
+        Self {
+            component,
+            prediction,
+            ..Self::default()
+        }
+    }
+}
+
 /// A direction predictor for conditional branches.
 ///
 /// The simulator guarantees that every `predict(pc)` is immediately
@@ -98,6 +141,38 @@ pub trait ConditionalPredictor {
         None
     }
 
+    /// Forensic attribution for the *most recent* [`predict`] call:
+    /// which component provided the direction, at what confidence, and
+    /// over what history.
+    ///
+    /// Only valid between a `predict` and the matching `update`; the
+    /// flight recorder samples it exactly there. Default: `None` —
+    /// predictors without attribution opt out and recorded entries carry
+    /// a `null` provenance.
+    ///
+    /// [`predict`]: ConditionalPredictor::predict
+    fn last_provenance(&self) -> Option<Provenance> {
+        None
+    }
+
+    /// Whether this predictor's batch kernels actually beat the plain
+    /// per-record loop.
+    ///
+    /// Default: `true`. Trivial predictors (statics, bimodal,
+    /// piecewise-linear) whose per-record work is a handful of
+    /// instructions return `false`: for them the chunk segmentation,
+    /// miss-flag buffer, and separate accounting pass of the batched
+    /// drive cost more than the virtual calls they save, so the
+    /// simulation loop runs them through its single-pass per-record
+    /// drive instead. The two drives produce byte-identical results by
+    /// the [`predict_batch`] contract; this hook only picks the faster
+    /// one.
+    ///
+    /// [`predict_batch`]: ConditionalPredictor::predict_batch
+    fn prefers_batch(&self) -> bool {
+        true
+    }
+
     /// The predictor's snapshot/restore surface, if it supports
     /// mid-job checkpointing.
     ///
@@ -154,6 +229,14 @@ impl ConditionalPredictor for StaticPredictor {
         StorageBreakdown::new()
     }
 
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(Provenance::of("static", self.taken))
+    }
+
+    fn prefers_batch(&self) -> bool {
+        false
+    }
+
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
         Some(self)
     }
@@ -200,5 +283,22 @@ mod tests {
     fn trait_is_object_safe() {
         let mut boxed: Box<dyn ConditionalPredictor> = Box::new(StaticPredictor::always_taken());
         assert!(boxed.predict(0));
+        assert_eq!(
+            boxed.last_provenance(),
+            Some(Provenance::of("static", true))
+        );
+        assert!(!boxed.prefers_batch());
+    }
+
+    #[test]
+    fn provenance_defaults_are_absent() {
+        let p = Provenance::of("unit", true);
+        assert_eq!(p.component, "unit");
+        assert!(p.prediction);
+        assert_eq!(p.table, None);
+        assert_eq!(p.alternate, None);
+        assert_eq!(p.counter, None);
+        assert_eq!(p.margin, None);
+        assert_eq!(p.history_len, None);
     }
 }

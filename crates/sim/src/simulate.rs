@@ -18,6 +18,7 @@ use bfbp_trace::source::{ReplaySource, TraceChunk, TraceSource};
 use bfbp_trace::TraceFormatError;
 
 use crate::ckpt::{SimCheckpoint, StateWriter};
+use crate::obs::{FlightEntry, FlightRecorder};
 use crate::predictor::ConditionalPredictor;
 
 /// The outcome of running one predictor over one trace.
@@ -243,6 +244,7 @@ pub struct Simulation<'a, P: ConditionalPredictor + ?Sized> {
     checkpoint_sink: Option<&'a mut dyn FnMut(SimCheckpoint)>,
     kill_after: Option<u64>,
     resume: Option<SimCheckpoint>,
+    recorder: Option<&'a mut FlightRecorder>,
 }
 
 impl<P: ConditionalPredictor + ?Sized> fmt::Debug for Simulation<'_, P> {
@@ -256,6 +258,7 @@ impl<P: ConditionalPredictor + ?Sized> fmt::Debug for Simulation<'_, P> {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("kill_after", &self.kill_after)
             .field("resume", &self.resume.as_ref().map(|c| c.records))
+            .field("recorder", &self.recorder.is_some())
             .finish()
     }
 }
@@ -274,6 +277,7 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             checkpoint_sink: None,
             kill_after: None,
             resume: None,
+            recorder: None,
         }
     }
 
@@ -347,6 +351,24 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
         self
     }
 
+    /// Installs a [`FlightRecorder`]: every record (conditional or not)
+    /// is pushed into the ring as it commits, with the predictor's
+    /// [`last_provenance`] sampled between predict and update for
+    /// conditionals.
+    ///
+    /// A recorded run drives the predictor per-record (provenance is
+    /// per-prediction scratch a fused batch kernel would overwrite), but
+    /// by the [`predict_batch`] contract the per-record and batched
+    /// drives are observationally identical — recording never changes a
+    /// count, a window, or an observation.
+    ///
+    /// [`last_provenance`]: ConditionalPredictor::last_provenance
+    /// [`predict_batch`]: ConditionalPredictor::predict_batch
+    pub fn recorder(mut self, recorder: &'a mut FlightRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Resumes accounting from a previously captured checkpoint: the
     /// first `ckpt.records` source records are skipped (without touching
     /// the predictor) and all counters, interval windows, and the open
@@ -382,6 +404,7 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
             mut checkpoint_sink,
             kill_after,
             resume,
+            mut recorder,
         } = self;
         let trace_name = source.name().to_owned();
         let mut conditional_branches = 0u64;
@@ -425,7 +448,14 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
                 .map_or(u64::MAX, |n| (n + 1) * checkpoint_every)
         };
         let mut next_ckpt = next_ckpt_after(records_done);
-        let mut miss = vec![false; chunk_records];
+        // The batched drive needs exclusive use of the predictor's
+        // per-prediction scratch (fused kernels overwrite it every
+        // record), so a recorded run — which samples `last_provenance`
+        // between predict and update — always drives per-record. So do
+        // predictors that declare no batch advantage. Both drives are
+        // observationally identical by the `predict_batch` contract.
+        let use_batch = recorder.is_none() && predictor.prefers_batch();
+        let mut miss = vec![false; if use_batch { chunk_records } else { 0 }];
         loop {
             let n = source.fill_chunk(&mut chunk, chunk_records)?;
             if n == 0 {
@@ -440,50 +470,98 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
                     return Err(SimulationError::Aborted);
                 }
             }
-            if miss.len() < n {
-                miss.resize(n, false);
-            }
             let pcs = &chunk.pcs()[..n];
             let targets = &chunk.targets()[..n];
             let kinds = &chunk.kinds()[..n];
             let takens = &chunk.takens()[..n];
             let gaps = &chunk.inst_gaps()[..n];
-            // Drive the predictor over maximal same-kind runs: one
-            // (virtual) batch call per run instead of two per record.
-            // The fused predict+update kernel records each branch's
-            // misprediction flag; nothing downstream of the flags feeds
-            // back into the predictor, so the accounting can run as a
-            // separate scalar pass without changing any count.
-            let mut i = 0;
-            while i < n {
-                let conditional = kinds[i].is_conditional();
-                let mut j = i + 1;
-                while j < n && kinds[j].is_conditional() == conditional {
-                    j += 1;
+            if use_batch {
+                if miss.len() < n {
+                    miss.resize(n, false);
                 }
-                if conditional {
-                    predictor.predict_batch(
-                        &pcs[i..j],
-                        &targets[i..j],
-                        &takens[i..j],
-                        &mut miss[i..j],
-                    );
+                // Drive the predictor over maximal same-kind runs: one
+                // (virtual) batch call per run instead of two per record.
+                // The fused predict+update kernel records each branch's
+                // misprediction flag; nothing downstream of the flags feeds
+                // back into the predictor, so the accounting can run as a
+                // separate scalar pass without changing any count.
+                let mut i = 0;
+                while i < n {
+                    let conditional = kinds[i].is_conditional();
+                    let mut j = i + 1;
+                    while j < n && kinds[j].is_conditional() == conditional {
+                        j += 1;
+                    }
+                    if conditional {
+                        predictor.predict_batch(
+                            &pcs[i..j],
+                            &targets[i..j],
+                            &takens[i..j],
+                            &mut miss[i..j],
+                        );
+                    } else {
+                        predictor.update_batch(&chunk, i, j);
+                    }
+                    i = j;
+                }
+                if interval_insts == 0 && observer.is_none() {
+                    // No windows and no observer: totals reduce to three
+                    // straight-line sums, amortized once per chunk.
+                    for i in 0..n {
+                        instructions += u64::from(gaps[i]) + 1;
+                        if kinds[i].is_conditional() {
+                            conditional_branches += 1;
+                            mispredictions += u64::from(miss[i]);
+                        }
+                    }
                 } else {
-                    predictor.update_batch(&chunk, i, j);
+                    for i in 0..n {
+                        let insts = u64::from(gaps[i]) + 1;
+                        instructions += insts;
+                        window.instructions += insts;
+                        if kinds[i].is_conditional() {
+                            conditional_branches += 1;
+                            window.conditional_branches += 1;
+                            if miss[i] {
+                                mispredictions += 1;
+                                window.mispredictions += 1;
+                            }
+                            if let Some(observe) = observer.as_mut() {
+                                observe(pcs[i], takens[i], miss[i]);
+                            }
+                        }
+                        // Interval windows close on exact record boundaries;
+                        // this check cannot move to the chunk boundary without
+                        // breaking byte-identity with the materialized path.
+                        if interval_insts > 0 && window.instructions >= interval_insts {
+                            intervals.push(window);
+                            window = IntervalPoint {
+                                instructions: 0,
+                                conditional_branches: 0,
+                                mispredictions: 0,
+                            };
+                        }
+                    }
                 }
-                i = j;
-            }
-            if interval_insts == 0 && observer.is_none() {
-                // No windows and no observer: totals reduce to three
-                // straight-line sums, amortized once per chunk.
+            } else if interval_insts == 0 && observer.is_none() && recorder.is_none() {
+                // Per-record fast path (cheap predictors that declare no
+                // batch advantage): one pass, no miss buffer, no
+                // segmentation — the shape of `simulate_stream`.
                 for i in 0..n {
                     instructions += u64::from(gaps[i]) + 1;
                     if kinds[i].is_conditional() {
                         conditional_branches += 1;
-                        mispredictions += u64::from(miss[i]);
+                        let guess = predictor.predict(pcs[i]);
+                        mispredictions += u64::from(guess != takens[i]);
+                        predictor.update(pcs[i], takens[i], targets[i]);
+                    } else {
+                        predictor.track_other(&chunk.record(i));
                     }
                 }
             } else {
+                // Per-record full path: intervals, observer, and flight
+                // recorder in one pass. Provenance is sampled between
+                // predict and update, the only point where it is valid.
                 for i in 0..n {
                     let insts = u64::from(gaps[i]) + 1;
                     instructions += insts;
@@ -491,17 +569,42 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
                     if kinds[i].is_conditional() {
                         conditional_branches += 1;
                         window.conditional_branches += 1;
-                        if miss[i] {
+                        let guess = predictor.predict(pcs[i]);
+                        let missed = guess != takens[i];
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(FlightEntry {
+                                index: records_done + i as u64,
+                                pc: pcs[i],
+                                kind: kinds[i],
+                                predicted: guess,
+                                outcome: takens[i],
+                                provenance: predictor.last_provenance(),
+                            });
+                        }
+                        predictor.update(pcs[i], takens[i], targets[i]);
+                        if missed {
                             mispredictions += 1;
                             window.mispredictions += 1;
                         }
                         if let Some(observe) = observer.as_mut() {
-                            observe(pcs[i], takens[i], miss[i]);
+                            observe(pcs[i], takens[i], missed);
                         }
+                    } else {
+                        if let Some(rec) = recorder.as_mut() {
+                            // Non-conditionals are never predicted; the
+                            // entry mirrors the committed direction and
+                            // carries no provenance.
+                            rec.record(FlightEntry {
+                                index: records_done + i as u64,
+                                pc: pcs[i],
+                                kind: kinds[i],
+                                predicted: takens[i],
+                                outcome: takens[i],
+                                provenance: None,
+                            });
+                        }
+                        predictor.track_other(&chunk.record(i));
                     }
-                    // Interval windows close on exact record boundaries;
-                    // this check cannot move to the chunk boundary without
-                    // breaking byte-identity with the materialized path.
                     if interval_insts > 0 && window.instructions >= interval_insts {
                         intervals.push(window);
                         window = IntervalPoint {

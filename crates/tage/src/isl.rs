@@ -17,7 +17,7 @@ use bfbp_predictors::counter::CounterTable;
 use bfbp_predictors::history::mix64;
 use bfbp_predictors::loop_pred::LoopPredictor;
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_trace::record::BranchRecord;
 
@@ -219,6 +219,32 @@ impl<T: TageEngine> ConditionalPredictor for Isl<T> {
             s.push("statistical corrector", self.sc.storage_bits());
         }
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        if self.last_loop_used {
+            // A confident loop prediction overrode the TAGE side; the
+            // TAGE (post-SC) prediction is the alternate.
+            return Some(Provenance {
+                component: "loop",
+                prediction: self.last_final_pred,
+                alternate: Some(self.last_tage_pred),
+                ..Default::default()
+            });
+        }
+        if self.last_final_pred != self.last_tage_pred {
+            // The statistical corrector inverted TAGE's prediction.
+            return Some(Provenance {
+                component: "sc",
+                prediction: self.last_final_pred,
+                alternate: Some(self.last_tage_pred),
+                counter: Some(i32::from(self.last_provider_ctr)),
+                ..Default::default()
+            });
+        }
+        self.tage
+            .last_provenance()
+            .or(Some(Provenance::of("tage", self.last_final_pred)))
     }
 
     fn introspection(&self) -> Option<&dyn bfbp_sim::obs::PredictorIntrospect> {

@@ -13,7 +13,7 @@ use bfbp_predictors::bimodal::Bimodal;
 use bfbp_predictors::history::{mix64, ManagedHistory, PathHistory};
 use bfbp_sim::ckpt::{CodecError, Restorable, StateReader, StateWriter};
 use bfbp_sim::obs::{Metrics, PredictorIntrospect};
-use bfbp_sim::predictor::ConditionalPredictor;
+use bfbp_sim::predictor::{ConditionalPredictor, Provenance};
 use bfbp_sim::storage::StorageBreakdown;
 use bfbp_trace::record::BranchRecord;
 use bfbp_trace::source::TraceChunk;
@@ -151,6 +151,29 @@ impl TageCore {
     /// The tagged tables (shortest history first).
     pub fn tables(&self) -> &[TaggedTable] {
         &self.tables
+    }
+
+    /// Provenance of the most recent prediction: which component
+    /// provided it (`"base"` or tagged table `1..=n` as `"tage"`), the
+    /// alternate prediction, and the provider counter. Shared by every
+    /// predictor wrapping a [`TageCore`].
+    pub fn last_provenance(&self) -> Provenance {
+        Provenance {
+            component: if self.ctx.provider.is_some() {
+                "tage"
+            } else {
+                "base"
+            },
+            table: self.ctx.provider.map(|i| i as u32 + 1),
+            prediction: self.ctx.final_pred,
+            alternate: Some(self.ctx.alt_pred),
+            counter: Some(i32::from(self.last_provider_ctr)),
+            margin: None,
+            history_len: self
+                .ctx
+                .provider
+                .map(|i| self.tables[i].history_len() as u32),
+        }
     }
 
     /// Provider statistics accumulated so far.
@@ -567,6 +590,10 @@ impl ConditionalPredictor for Tage {
         );
         s.push("path history", u64::from(self.path.len()));
         s
+    }
+
+    fn last_provenance(&self) -> Option<Provenance> {
+        Some(self.core.last_provenance())
     }
 
     fn introspection(&self) -> Option<&dyn PredictorIntrospect> {

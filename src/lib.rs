@@ -37,7 +37,11 @@ pub use bfbp_sim as sim;
 pub use bfbp_tage as tage;
 pub use bfbp_trace as trace;
 
-pub use bfbp_sim::{Simulation, SimulationError, StreamedTrace, TraceInput};
+pub use bfbp_sim::{
+    chrome_trace, parse_events, parse_json, postmortem_json, read_events, FlightEntry,
+    FlightRecorder, ParsedEvent, Provenance, Simulation, SimulationError, StreamedTrace,
+    TraceInput,
+};
 pub use bfbp_trace::{
     CacheStatus, FileSource, ReplaySource, SynthSource, TraceCache, TraceChunk, TraceSource,
 };
