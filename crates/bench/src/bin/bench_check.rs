@@ -1,23 +1,28 @@
 //! Perf-regression gate over the committed `BENCH_*.json` baselines:
-//! compares the newest benchmark document against its predecessor (or a
-//! freshly generated `--candidate` file against the newest committed
-//! one) and fails when a headline throughput key regressed past the
-//! noise tolerance.
+//! compares the newest benchmark document (or a freshly generated
+//! `--candidate` file) against the committed history and fails when a
+//! headline throughput key regressed past the noise tolerance.
 //!
 //! ```sh
-//! bench_check                                 # newest committed vs predecessor
-//! bench_check --candidate /tmp/b6/BENCH_6.json  # fresh run vs newest committed
+//! bench_check                                 # newest committed vs history
+//! bench_check --candidate /tmp/b7/BENCH_7.json  # fresh run vs history
 //! bench_check --dir . --tolerance 0.7
 //! ```
 //!
-//! Headline keys (`replay_records_per_sec`, `streamed_records_per_sec`)
-//! are gated at `--tolerance` (default 0.7× — single-core CI runs vary
-//! ±10–15%). When both documents carry a batched-vs-per-record
-//! `matrix`, each predictor's *effective* rate — the better of its two
-//! modes, which is what `Simulation::run` actually picks via
-//! `prefers_batch()` — is gated at half the headline tolerance, loose
-//! enough for small-sample noise but tight enough to catch a kernel
-//! that silently fell off a cliff.
+//! Headline keys (`replay_records_per_sec`, `streamed_records_per_sec`,
+//! `served_decisions_per_sec`) are gated at `--tolerance` (default
+//! 0.7× — single-core CI runs vary ±10–15%). Different benches carry
+//! different keys (BENCH_6 measures offline replay, BENCH_7 measures
+//! online serving), so each key is compared against the *newest older
+//! document that carries it* — walking back through the history — and
+//! a key with no carrier anywhere in the history is reported but not
+//! gated, never silently passed as vacuous. When the document and some
+//! baseline both carry a batched-vs-per-record `matrix`, each
+//! predictor's *effective* rate — the better of its two modes, which
+//! is what `Simulation::run` actually picks from the capability
+//! descriptor's batch preference — is gated at half the headline
+//! tolerance, loose enough for small-sample noise but tight enough to
+//! catch a kernel that silently fell off a cliff.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -25,7 +30,11 @@ use std::process::ExitCode;
 
 use bfbp_sim::forensics::{parse_json, JsonValue};
 
-const HEADLINE_KEYS: [&str; 2] = ["replay_records_per_sec", "streamed_records_per_sec"];
+const HEADLINE_KEYS: [&str; 3] = [
+    "replay_records_per_sec",
+    "streamed_records_per_sec",
+    "served_decisions_per_sec",
+];
 
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
@@ -58,62 +67,89 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let (new_path, old_path) = match &candidate {
-        Some(fresh) => match committed.pop() {
-            Some((_, newest)) => (fresh.clone(), newest),
-            None => {
+    // The document under test, plus its history: every committed bench
+    // older than it, newest first, for per-key walk-back.
+    let new_path = match &candidate {
+        Some(fresh) => {
+            if committed.is_empty() {
                 eprintln!("error: no committed BENCH_*.json in {}", dir.display());
                 return ExitCode::FAILURE;
             }
-        },
+            fresh.clone()
+        }
         None => {
             let Some((_, newest)) = committed.pop() else {
                 eprintln!("error: no BENCH_*.json in {}", dir.display());
                 return ExitCode::FAILURE;
             };
-            let Some((_, prev)) = committed.pop() else {
+            if committed.is_empty() {
                 eprintln!(
                     "only one BENCH_*.json in {} — nothing to compare against",
                     dir.display()
                 );
                 return ExitCode::SUCCESS;
-            };
-            (newest, prev)
+            }
+            newest
         }
     };
-
-    let (new_doc, old_doc) = match (load(&new_path), load(&old_path)) {
-        (Ok(n), Ok(o)) => (n, o),
-        (Err(e), _) => {
+    let new_doc = match load(&new_path) {
+        Ok(doc) => doc,
+        Err(e) => {
             eprintln!("error: {}: {e}", new_path.display());
             return ExitCode::FAILURE;
         }
-        (_, Err(e)) => {
-            eprintln!("error: {}: {e}", old_path.display());
-            return ExitCode::FAILURE;
-        }
     };
+    let mut history: Vec<(PathBuf, JsonValue)> = Vec::new();
+    for (_, path) in committed.into_iter().rev() {
+        match load(&path) {
+            Ok(doc) => history.push((path, doc)),
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     eprintln!(
-        "bench_check: {} vs baseline {} (tolerance {tolerance:.2})",
+        "bench_check: {} vs {}-document history (tolerance {tolerance:.2})",
         new_path.display(),
-        old_path.display()
+        history.len()
     );
 
     let mut failures = 0;
+    let mut compared = 0u32;
     for key in HEADLINE_KEYS {
-        let (Some(new), Some(old)) = (
-            new_doc.get(key).and_then(JsonValue::as_f64),
-            old_doc.get(key).and_then(JsonValue::as_f64),
-        ) else {
+        let Some(new) = new_doc.get(key).and_then(JsonValue::as_f64) else {
             continue;
         };
-        check(key, new, old, tolerance, &mut failures);
+        // Walk back to the newest older document carrying this key —
+        // benches measure different things (replay vs serving), so the
+        // right baseline is rarely the immediate predecessor.
+        let baseline = history
+            .iter()
+            .find_map(|(path, doc)| doc.get(key).and_then(JsonValue::as_f64).map(|v| (path, v)));
+        match baseline {
+            Some((path, old)) => {
+                eprintln!("  baseline for {key}: {}", path.display());
+                check(key, new, old, tolerance, &mut failures);
+                compared += 1;
+            }
+            None => eprintln!("  note  {key}: no committed baseline carries it yet"),
+        }
+    }
+    if compared == 0 {
+        eprintln!("  note  no headline key has a baseline — nothing gated");
     }
 
     // Matrix gate: per-predictor effective (best-mode) rate, at half
-    // the headline tolerance — 20k-record samples are noisier.
+    // the headline tolerance — 20k-record samples are noisier. Walks
+    // back to the newest older document with a matrix.
     let matrix_tolerance = tolerance * 0.5;
-    let (new_matrix, old_matrix) = (matrix_rates(&new_doc), matrix_rates(&old_doc));
+    let new_matrix = matrix_rates(&new_doc);
+    let old_matrix = history
+        .iter()
+        .map(|(_, doc)| matrix_rates(doc))
+        .find(|rates| !rates.is_empty())
+        .unwrap_or_default();
     for (name, new) in &new_matrix {
         if let Some(old) = old_matrix.get(name) {
             check(
@@ -188,7 +224,7 @@ fn load(path: &Path) -> Result<JsonValue, String> {
 
 /// Per-predictor effective rate from a document's `matrix` array: the
 /// better of batched and per-record, matching what the simulation's
-/// `prefers_batch()` routing achieves in practice.
+/// capability-based batch routing achieves in practice.
 fn matrix_rates(doc: &JsonValue) -> BTreeMap<String, f64> {
     let mut rates = BTreeMap::new();
     let Some(rows) = doc.get("matrix").and_then(JsonValue::as_arr) else {

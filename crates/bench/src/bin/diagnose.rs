@@ -4,35 +4,51 @@
 //! sweep engine exports, so the human view and `--json` never diverge.
 //!
 //! ```sh
-//! diagnose [--json] [--top N] [--trace-cache|--no-trace-cache] [TRACE [SPEC]]
+//! diagnose [--json] [--top N] [--events PATH]
+//!          [--trace-cache|--no-trace-cache] [TRACE [SPEC]]
 //! ```
 //!
 //! Defaults: trace `SPEC03`, spec `isl-tage:tables=10`, top 20.
+//!
+//! Flags are parsed through `bfbp_bench::cli::CommonArgs`, so
+//! `--trace-cache` / `--events` (also spelled `--events-out`) behave
+//! exactly as in `sweep`; common flags the diagnostic cannot honor are
+//! rejected, not silently ignored. `--events` appends a one-span
+//! `bfbp-events/1` journal of the diagnostic run.
 
 use std::process::ExitCode;
 
-use bfbp_sim::obs::{job_obs_json, JobObs};
+use bfbp_bench::cli::CommonArgs;
+use bfbp_sim::obs::{job_obs_json, Event, EventJournal, JobObs};
 use bfbp_sim::registry::PredictorSpec;
 use bfbp_sim::simulate::Simulation;
 use bfbp_trace::cache::TraceCache;
 use bfbp_trace::synth::suite;
 
 fn main() -> ExitCode {
+    let mut common = CommonArgs::default();
     let mut json = false;
     let mut top = 20usize;
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match common.try_consume(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
         match arg.as_str() {
             "--json" => json = true,
             "--top" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => top = n,
                 None => return usage("--top needs a count"),
             },
-            other if bfbp_bench::cli::trace_cache_flag(other) => {}
             other if other.starts_with("--") => return usage(&format!("unknown flag {other:?}")),
             other => positional.push(other.to_owned()),
         }
+    }
+    if let Err(e) = common.ensure_only(&["--events"]) {
+        return usage(&e);
     }
     let name = positional
         .first()
@@ -81,6 +97,23 @@ fn main() -> ExitCode {
         introspect.introspect(&mut obs.metrics);
     }
 
+    if let Some(path) = &common.events {
+        match EventJournal::open(path) {
+            Ok(journal) => journal.emit(
+                Event::new("diagnose")
+                    .str("trace", &name)
+                    .str("spec", &which)
+                    .num("conditional_branches", result.conditional_branches())
+                    .num("mispredictions", result.mispredictions())
+                    .float("mpki", result.mpki()),
+            ),
+            Err(e) => {
+                eprintln!("cannot open events journal {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if json {
         println!("{}", job_obs_json(&which, &name, Some(&obs), top));
     } else {
@@ -100,6 +133,9 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
-    eprintln!("usage: diagnose [--json] [--top N] [--trace-cache|--no-trace-cache] [TRACE [SPEC]]");
+    eprintln!(
+        "usage: diagnose [--json] [--top N] [--events PATH]\n\
+        \x20               [--trace-cache|--no-trace-cache] [TRACE [SPEC]]"
+    );
     ExitCode::FAILURE
 }

@@ -5,7 +5,13 @@
 //! ```sh
 //! forensics --postmortem DUMP.json [DUMP.json...]
 //! forensics --chrome-trace EVENTS.jsonl [--out TRACE.json]
+//! forensics --chrome-trace --events EVENTS.jsonl   # same journal flag as sweep
 //! ```
+//!
+//! Flags are parsed through `bfbp_bench::cli::CommonArgs`, so the
+//! events journal can be named with the same `--events` /
+//! `--events-out` flag every other binary uses (the positional path
+//! still works); common flags this tool cannot honor are rejected.
 //!
 //! `--postmortem` prints each dump's identity (job, series, trace, how
 //! it died) and the flight-recorder window oldest-first, flagging
@@ -21,9 +27,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use bfbp_bench::cli::CommonArgs;
 use bfbp_sim::forensics::{chrome_trace, parse_json, read_events, JsonValue};
 
 fn main() -> ExitCode {
+    let mut common = CommonArgs::default();
     let mut postmortems: Vec<PathBuf> = Vec::new();
     let mut journal: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
@@ -31,6 +39,11 @@ fn main() -> ExitCode {
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match common.try_consume(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => return usage(&e),
+        }
         match arg.as_str() {
             "--postmortem" => mode = Some("postmortem"),
             "--chrome-trace" => mode = Some("chrome-trace"),
@@ -50,6 +63,14 @@ fn main() -> ExitCode {
                 _ => return usage(&format!("unexpected argument {path:?} before a mode flag")),
             },
         }
+    }
+    if let Err(e) = common.ensure_only(&["--events"]) {
+        return usage(&e);
+    }
+    // `--events PATH` names the journal exactly as it does in `sweep`;
+    // the positional spelling wins when both are given.
+    if journal.is_none() {
+        journal = common.events.clone();
     }
 
     match mode {
@@ -145,8 +166,8 @@ fn render_postmortem(path: &PathBuf) -> Result<(), String> {
         return Ok(());
     }
     println!(
-        "  {:>12}  {:<14} {:<6} {:>5} {:>5}  {}",
-        "record", "pc", "kind", "pred", "taken", "provenance"
+        "  {:>12}  {:<14} {:<6} {:>5} {:>5}  provenance",
+        "record", "pc", "kind", "pred", "taken"
     );
     for entry in entries {
         let index = entry

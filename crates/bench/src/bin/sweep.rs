@@ -51,7 +51,7 @@
 
 use std::process::ExitCode;
 
-use bfbp_bench::cli::CommonArgs;
+use bfbp_bench::cli::{CommonArgs, FromCli};
 use bfbp_bench::{banner, print_mpki_table, scale};
 use bfbp_sim::engine::{sweep, sweep_inputs, SweepOptions, TraceInput};
 use bfbp_sim::fault::FaultPlan;
@@ -76,9 +76,16 @@ fn main() -> ExitCode {
         }
         match arg.as_str() {
             "--list" => {
+                // Caps column: `B`atch-preferred, `C`heckpointable,
+                // `I`ntrospectable, `P`rovenance (probed through the
+                // consolidated capability descriptor).
                 for name in registry.names() {
                     let desc = registry.describe(name).unwrap_or_default();
-                    println!("{name:<18} {desc}");
+                    let caps = registry
+                        .capabilities(name)
+                        .map(|caps| caps.flags())
+                        .unwrap_or_else(|_| "????".to_owned());
+                    println!("{name:<18} {caps}  {desc}");
                 }
                 return ExitCode::SUCCESS;
             }
@@ -109,8 +116,7 @@ fn main() -> ExitCode {
         return usage("no predictor specs given");
     }
     // Environment knobs first, explicit flags on top.
-    let mut options = SweepOptions::from_env();
-    common.apply_to(&mut options);
+    let mut options = SweepOptions::from_cli(&common);
     if let Some(insts) = interval {
         options.interval_insts = insts;
     }

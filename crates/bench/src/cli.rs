@@ -1,15 +1,19 @@
 //! Shared command-line parsing for the experiment binaries.
 //!
-//! `sweep`, `run_all`, and `diagnose` accept an overlapping set of
-//! engine-tuning flags (threads, retries, timeouts, journals,
-//! observability outputs, trace-cache control). [`CommonArgs`] parses
-//! them once so the binaries cannot drift apart: each binary calls
-//! [`CommonArgs::try_consume`] first in its flag loop and handles only
-//! its own flags when that returns `Ok(false)`. The collected values are
-//! then either applied to an in-process [`SweepOptions`]
-//! ([`CommonArgs::apply_to`], the `sweep` workflow) or exported as the
+//! `sweep`, `run_all`, `diagnose`, `forensics`, `serve`, and `loadgen`
+//! accept an overlapping set of engine-tuning flags (threads, retries,
+//! timeouts, journals, observability outputs, trace-cache control).
+//! [`CommonArgs`] parses them once so the binaries cannot drift apart:
+//! each binary calls [`CommonArgs::try_consume`] first in its flag loop
+//! and handles only its own flags when that returns `Ok(false)`. The
+//! collected values are then consumed one of three ways: built straight
+//! into an in-process [`SweepOptions`] ([`SweepOptions::from_cli`] via
+//! the [`FromCli`] extension, the `sweep` workflow), exported as the
 //! `BFBP_SWEEP_*` environment variables the per-experiment sweeps read
-//! ([`CommonArgs::export_env`], the `run_all` workflow).
+//! ([`CommonArgs::export_env`], the `run_all` workflow), or read field
+//! by field (the serve binaries). Binaries that honor only a few of the
+//! common flags call [`CommonArgs::ensure_only`] so the rest fail
+//! loudly instead of being silently ignored.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -200,6 +204,35 @@ impl CommonArgs {
         }
     }
 
+    /// Rejects any given flag that `supported` does not list, with the
+    /// same user-facing message [`CommonArgs::export_env`] uses — for
+    /// binaries that reuse the common parser but honor only a few of
+    /// its flags (`diagnose`, `forensics`, `serve`, `loadgen`).
+    pub fn ensure_only(&self, supported: &[&str]) -> Result<(), String> {
+        let given = [
+            (self.threads.is_some(), "--threads"),
+            (self.retries.is_some(), "--retries"),
+            (self.backoff_ms.is_some(), "--backoff"),
+            (self.timeout_ms.is_some(), "--timeout"),
+            (self.journal.is_some(), "--journal"),
+            (self.resume.is_some(), "--resume"),
+            (self.checkpoint_every.is_some(), "--checkpoint-every"),
+            (self.checkpoint_dir.is_some(), "--checkpoint-dir"),
+            (self.metrics, "--metrics"),
+            (self.metrics_out.is_some(), "--metrics-out"),
+            (self.events.is_some(), "--events"),
+            (self.flight_recorder.is_some(), "--flight-recorder"),
+            (self.postmortem_dir.is_some(), "--postmortem-dir"),
+            (self.progress, "--progress"),
+        ];
+        for (was_given, flag) in given {
+            if was_given && !supported.contains(&flag) {
+                return Err(format!("{flag} is not supported by this binary"));
+            }
+        }
+        Ok(())
+    }
+
     /// Exports the given flags as the `BFBP_SWEEP_*` environment
     /// variables that configure every sweep a child experiment runs
     /// (`run_all` hardens its whole campaign this way).
@@ -250,6 +283,27 @@ impl CommonArgs {
             std::env::set_var("BFBP_SWEEP_FLIGHT_DIR", dir.as_os_str());
         }
         Ok(())
+    }
+}
+
+/// Extension constructor so `SweepOptions::from_cli(&common)` replaces
+/// the `SweepOptions::from_env()` + `common.apply_to(&mut options)`
+/// pair every binary used to spell by hand: environment defaults
+/// first, parsed flags overlaid.
+///
+/// (An extension trait because inherent impls must live in the
+/// defining crate — `SweepOptions` is `bfbp_sim`'s, `CommonArgs` is
+/// ours.)
+pub trait FromCli {
+    /// Environment defaults overlaid with the parsed common flags.
+    fn from_cli(common: &CommonArgs) -> Self;
+}
+
+impl FromCli for SweepOptions {
+    fn from_cli(common: &CommonArgs) -> Self {
+        let mut options = SweepOptions::from_env();
+        common.apply_to(&mut options);
+        options
     }
 }
 
@@ -405,6 +459,24 @@ mod tests {
         assert_eq!(
             consume_all(&["--postmortem-dir"]).unwrap_err(),
             "--postmortem-dir needs a directory"
+        );
+    }
+
+    #[test]
+    fn from_cli_overlays_flags_on_env_defaults() {
+        let (common, _) = consume_all(&["--retries", "3", "--backoff", "25"]).unwrap();
+        let options = SweepOptions::from_cli(&common);
+        assert_eq!(options.retry.max_attempts, 4);
+        assert_eq!(options.retry.backoff, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn ensure_only_rejects_unsupported_flags() {
+        let (common, _) = consume_all(&["--events", "e.jsonl", "--threads", "2"]).unwrap();
+        assert!(common.ensure_only(&["--events", "--threads"]).is_ok());
+        assert_eq!(
+            common.ensure_only(&["--events"]).unwrap_err(),
+            "--threads is not supported by this binary"
         );
     }
 

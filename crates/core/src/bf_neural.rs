@@ -909,7 +909,7 @@ mod tests {
         let mut misses = 0;
         for i in 0..100 {
             let guess = p.predict(0x40);
-            if guess != true {
+            if !guess {
                 misses += 1;
             }
             p.update(0x40, true, 0);

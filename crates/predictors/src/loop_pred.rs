@@ -285,7 +285,10 @@ mod tests {
             for i in 0..trip {
                 let taken = i != trip - 1;
                 if let Some(pred) = p.predict(0x40) {
-                    assert!(!pred.confident || pred.taken == taken || true, "tolerated");
+                    // Confident-but-wrong predictions are tolerated on
+                    // irregular trips; the real assertion is the
+                    // confidence cap below.
+                    let _ = (pred.confident, pred.taken);
                 }
                 p.update(0x40, taken, true);
             }

@@ -1206,9 +1206,12 @@ impl SweepContext<'_> {
                 loaded.sim.records
             ));
         }
+        if !predictor.capabilities().checkpointable {
+            return Err("predictor has no checkpoint capability".to_owned());
+        }
         let restorable = predictor
             .checkpointing()
-            .ok_or_else(|| "predictor has no checkpoint capability".to_owned())?;
+            .expect("capability descriptor said checkpointable");
         let mut reader = StateReader::new(&loaded.sim.predictor);
         restorable
             .load_state(&mut reader)

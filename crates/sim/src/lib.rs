@@ -29,8 +29,10 @@ pub mod obs;
 pub mod predictor;
 pub mod registry;
 pub mod runner;
+pub mod service;
 pub mod simulate;
 pub mod storage;
+pub mod wire;
 
 pub use ckpt::{
     CodecError, JobCheckpoint, Restorable, SimCheckpoint, StateReader, StateWriter, CKPT_MAGIC,
@@ -50,9 +52,14 @@ pub use obs::{
     FlightRecorder, H2pTable, Histogram, JobObs, Metrics, PredictorIntrospect, Progress,
     EVENTS_SCHEMA, H2P_TOP_N, METRICS_SCHEMA, POSTMORTEM_SCHEMA,
 };
-pub use predictor::{ConditionalPredictor, Provenance};
+pub use predictor::{ConditionalPredictor, PredictorCaps, Provenance};
 pub use registry::{BuildError, ParamValue, Params, PredictorRegistry, PredictorSpec};
+pub use service::{ServeClient, ServeError, ServeOptions, Server, ServerHandle};
 pub use simulate::{
     mean_mpki, simulate, IntervalPoint, SimResult, Simulation, SimulationAborted, SimulationError,
 };
 pub use storage::StorageBreakdown;
+pub use wire::{
+    ErrorCode, Frame, FrameKind, FrameReader, PredictorInfo, SessionStats, WireError, MAX_FRAME,
+    WIRE_PROTOCOL,
+};

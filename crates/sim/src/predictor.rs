@@ -63,13 +63,115 @@ impl Provenance {
     }
 }
 
+/// The consolidated capability descriptor for a predictor: one value
+/// answering every "does this predictor support X?" question the rest
+/// of the system asks.
+///
+/// PRs 3–8 accreted four optional surfaces onto [`ConditionalPredictor`]
+/// (`introspection`, `checkpointing`, `last_provenance`, `prefers_batch`),
+/// and call sites probed them ad hoc (`prefers_batch()`,
+/// `checkpointing().is_some()`, …). `PredictorCaps` replaces those
+/// probes: the simulation loop, the checkpoint engine, the registry
+/// listing, and the serve HELLO handshake all consult
+/// [`ConditionalPredictor::capabilities`] instead, and the individual
+/// hooks remain only as the *access paths* for each capability.
+///
+/// The descriptor is plain data so it can cross the wire: [`bits`] packs
+/// it into one byte for the `bfbp-wire/1` HELLO/OPEN_ACK frames and
+/// [`from_bits`] rejects unknown bits, keeping the encoding forward-safe.
+///
+/// [`bits`]: PredictorCaps::bits
+/// [`from_bits`]: PredictorCaps::from_bits
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictorCaps {
+    /// The batch kernels beat the per-record loop; the simulation and
+    /// serving hot loops should route runs through
+    /// [`ConditionalPredictor::predict_batch`] /
+    /// [`ConditionalPredictor::update_batch`].
+    pub batch_preferred: bool,
+    /// [`ConditionalPredictor::checkpointing`] returns a live
+    /// [`Restorable`]: mid-job snapshots and serve session persistence
+    /// are available.
+    pub checkpointable: bool,
+    /// [`ConditionalPredictor::introspection`] exports internal
+    /// counters.
+    pub introspectable: bool,
+    /// [`ConditionalPredictor::last_provenance`] attributes decisions,
+    /// so flight-recorder entries carry non-null provenance.
+    pub provenance: bool,
+}
+
+impl PredictorCaps {
+    /// Bit assigned to `batch_preferred` in the wire encoding.
+    pub const BATCH_PREFERRED: u8 = 1 << 0;
+    /// Bit assigned to `checkpointable` in the wire encoding.
+    pub const CHECKPOINTABLE: u8 = 1 << 1;
+    /// Bit assigned to `introspectable` in the wire encoding.
+    pub const INTROSPECTABLE: u8 = 1 << 2;
+    /// Bit assigned to `provenance` in the wire encoding.
+    pub const PROVENANCE: u8 = 1 << 3;
+
+    /// Packs the descriptor into one byte (for `bfbp-wire/1` frames).
+    pub fn bits(self) -> u8 {
+        let mut bits = 0;
+        if self.batch_preferred {
+            bits |= Self::BATCH_PREFERRED;
+        }
+        if self.checkpointable {
+            bits |= Self::CHECKPOINTABLE;
+        }
+        if self.introspectable {
+            bits |= Self::INTROSPECTABLE;
+        }
+        if self.provenance {
+            bits |= Self::PROVENANCE;
+        }
+        bits
+    }
+
+    /// Unpacks a wire byte; `None` when unknown bits are set (a peer
+    /// speaking a newer protocol revision than we understand).
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        const KNOWN: u8 = PredictorCaps::BATCH_PREFERRED
+            | PredictorCaps::CHECKPOINTABLE
+            | PredictorCaps::INTROSPECTABLE
+            | PredictorCaps::PROVENANCE;
+        if bits & !KNOWN != 0 {
+            return None;
+        }
+        Some(Self {
+            batch_preferred: bits & Self::BATCH_PREFERRED != 0,
+            checkpointable: bits & Self::CHECKPOINTABLE != 0,
+            introspectable: bits & Self::INTROSPECTABLE != 0,
+            provenance: bits & Self::PROVENANCE != 0,
+        })
+    }
+
+    /// Four-character flag string for table listings: `BCIP` with `-`
+    /// for each absent capability (`B`atch, `C`heckpoint, `I`ntrospect,
+    /// `P`rovenance), e.g. `-CIP` for bimodal.
+    pub fn flags(self) -> String {
+        let mut s = String::with_capacity(4);
+        s.push(if self.batch_preferred { 'B' } else { '-' });
+        s.push(if self.checkpointable { 'C' } else { '-' });
+        s.push(if self.introspectable { 'I' } else { '-' });
+        s.push(if self.provenance { 'P' } else { '-' });
+        s
+    }
+}
+
 /// A direction predictor for conditional branches.
 ///
 /// The simulator guarantees that every `predict(pc)` is immediately
 /// followed by `update(pc, taken, target)` for the same dynamic branch.
 /// Implementations may therefore carry per-prediction scratch state
 /// between the two calls.
-pub trait ConditionalPredictor {
+///
+/// `Send` is a supertrait: the serving layer hands live predictors
+/// between connection-handler threads (each session is a
+/// mutex-guarded predictor), and every implementation is plain owned
+/// data, so the bound costs nothing.
+pub trait ConditionalPredictor: Send {
     /// A short, stable, human-readable name (used in result tables).
     ///
     /// Returning `Cow` lets static configurations hand back a `&'static
@@ -184,6 +286,37 @@ pub trait ConditionalPredictor {
     fn checkpointing(&mut self) -> Option<&mut dyn Restorable> {
         None
     }
+
+    /// The consolidated capability descriptor: every optional surface
+    /// of this predictor, answered in one probe.
+    ///
+    /// The default derives each flag from the corresponding hook —
+    /// [`prefers_batch`], [`checkpointing`], [`introspection`],
+    /// [`last_provenance`] — so implementations opt into capabilities
+    /// exactly where they implement them and never answer the question
+    /// twice. (Provenance implementations report their scratch state
+    /// unconditionally, including before the first `predict`, so
+    /// probing at construction is sound.)
+    ///
+    /// All capability *checks* outside this module go through this
+    /// method; the individual hooks remain only as the access paths for
+    /// capabilities the descriptor says are present.
+    ///
+    /// Takes `&mut self` because [`checkpointing`] — the single
+    /// save/restore accessor — does.
+    ///
+    /// [`prefers_batch`]: ConditionalPredictor::prefers_batch
+    /// [`checkpointing`]: ConditionalPredictor::checkpointing
+    /// [`introspection`]: ConditionalPredictor::introspection
+    /// [`last_provenance`]: ConditionalPredictor::last_provenance
+    fn capabilities(&mut self) -> PredictorCaps {
+        PredictorCaps {
+            batch_preferred: self.prefers_batch(),
+            checkpointable: self.checkpointing().is_some(),
+            introspectable: self.introspection().is_some(),
+            provenance: self.last_provenance().is_some(),
+        }
+    }
 }
 
 /// A trivially simple predictor: always predicts the same direction.
@@ -288,6 +421,30 @@ mod tests {
             Some(Provenance::of("static", true))
         );
         assert!(!boxed.prefers_batch());
+    }
+
+    #[test]
+    fn capabilities_derive_from_hooks() {
+        let mut s = StaticPredictor::always_taken();
+        let caps = s.capabilities();
+        assert!(!caps.batch_preferred);
+        assert!(caps.checkpointable);
+        assert!(!caps.introspectable);
+        assert!(caps.provenance);
+        assert_eq!(caps.flags(), "-C-P");
+    }
+
+    #[test]
+    fn caps_bits_round_trip() {
+        for bits in 0..16u8 {
+            let caps = PredictorCaps::from_bits(bits).expect("known bits");
+            assert_eq!(caps.bits(), bits);
+        }
+        assert_eq!(PredictorCaps::from_bits(0x10), None);
+        assert_eq!(PredictorCaps::from_bits(0xff), None);
+        assert_eq!(PredictorCaps::default().flags(), "----");
+        let all = PredictorCaps::from_bits(0x0f).unwrap();
+        assert_eq!(all.flags(), "BCIP");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::predictor::{ConditionalPredictor, StaticPredictor};
+use crate::predictor::{ConditionalPredictor, PredictorCaps, StaticPredictor};
 
 /// A typed parameter value.
 #[derive(Debug, Clone, PartialEq)]
@@ -543,6 +543,16 @@ impl PredictorRegistry {
         self.entries.get(name).map(|e| e.description.as_str())
     }
 
+    /// Probes the capability descriptor of `name` by building it with
+    /// its registered defaults and asking the instance. Used by the
+    /// `sweep --list` table and the serve HELLO handshake; capabilities
+    /// are a property of the configuration, so default-parameter probing
+    /// answers for the family.
+    pub fn capabilities(&self, name: &str) -> Result<PredictorCaps, BuildError> {
+        let mut predictor = self.build(name, &Params::new())?;
+        Ok(predictor.capabilities())
+    }
+
     /// The default parameters registered for `name`.
     pub fn defaults(&self, name: &str) -> Option<&Params> {
         self.entries.get(name).map(|e| &e.defaults)
@@ -644,6 +654,16 @@ mod tests {
 
         assert!(PredictorSpec::parse(":tables=4").is_err());
         assert!(PredictorSpec::parse("tage:tables").is_err());
+    }
+
+    #[test]
+    fn registry_probes_capabilities() {
+        let registry = PredictorRegistry::with_builtins();
+        let caps = registry.capabilities("static-taken").unwrap();
+        assert!(!caps.batch_preferred);
+        assert!(caps.checkpointable);
+        assert!(caps.provenance);
+        assert!(registry.capabilities("no-such").is_err());
     }
 
     #[test]

@@ -452,9 +452,10 @@ impl<'a, P: ConditionalPredictor + ?Sized> Simulation<'a, P> {
         // per-prediction scratch (fused kernels overwrite it every
         // record), so a recorded run — which samples `last_provenance`
         // between predict and update — always drives per-record. So do
-        // predictors that declare no batch advantage. Both drives are
-        // observationally identical by the `predict_batch` contract.
-        let use_batch = recorder.is_none() && predictor.prefers_batch();
+        // predictors whose capability descriptor declares no batch
+        // advantage. Both drives are observationally identical by the
+        // `predict_batch` contract.
+        let use_batch = recorder.is_none() && predictor.capabilities().batch_preferred;
         let mut miss = vec![false; if use_batch { chunk_records } else { 0 }];
         loop {
             let n = source.fill_chunk(&mut chunk, chunk_records)?;

@@ -696,7 +696,7 @@ mod tests {
         write_trace(&mut buf, &sample_trace()).unwrap();
         let mut reader = TraceReader::new(&buf[..]).unwrap();
         assert_eq!(reader.name(), "sample");
-        let n = (&mut reader).map(|r| r.unwrap()).count();
+        let n = (&mut reader).inspect(|r| assert!(r.is_ok())).count();
         assert_eq!(n, 5);
         // Exhausted reader keeps returning None.
         assert!(reader.next().is_none());

@@ -39,8 +39,8 @@ pub use bfbp_trace as trace;
 
 pub use bfbp_sim::{
     chrome_trace, parse_events, parse_json, postmortem_json, read_events, FlightEntry,
-    FlightRecorder, ParsedEvent, Provenance, Simulation, SimulationError, StreamedTrace,
-    TraceInput,
+    FlightRecorder, ParsedEvent, PredictorCaps, Provenance, ServeClient, ServeError, ServeOptions,
+    Server, ServerHandle, SessionStats, Simulation, SimulationError, StreamedTrace, TraceInput,
 };
 pub use bfbp_trace::{
     CacheStatus, FileSource, ReplaySource, SynthSource, TraceCache, TraceChunk, TraceSource,
