@@ -10,13 +10,15 @@
 //! ```
 //!
 //! Headline keys (`replay_records_per_sec`, `streamed_records_per_sec`,
-//! `served_decisions_per_sec`) are gated at `--tolerance` (default
-//! 0.7× — single-core CI runs vary ±10–15%). Different benches carry
-//! different keys (BENCH_6 measures offline replay, BENCH_7 measures
-//! online serving), so each key is compared against the *newest older
-//! document that carries it* — walking back through the history — and
-//! a key with no carrier anywhere in the history is reported but not
-//! gated, never silently passed as vacuous. When the document and some
+//! `served_decisions_per_sec`, `tune_configs_per_sec`) are gated at
+//! `--tolerance` (default 0.7× — single-core CI runs vary ±10–15%).
+//! Different benches carry different keys (BENCH_6 measures offline
+//! replay, BENCH_7 online serving, BENCH_8 autotuning), so each key is
+//! compared between its two *newest carriers* — walking back through
+//! the history, starting at the document under test — and a key with a
+//! single carrier (or none) is reported but not gated, never silently
+//! passed as vacuous. Because the walk-back is per key, committing a
+//! new bench that measures something else never retires an old gate. When the document and some
 //! baseline both carry a batched-vs-per-record `matrix`, each
 //! predictor's *effective* rate — the better of its two modes, which
 //! is what `Simulation::run` actually picks from the capability
@@ -30,10 +32,11 @@ use std::process::ExitCode;
 
 use bfbp_sim::forensics::{parse_json, JsonValue};
 
-const HEADLINE_KEYS: [&str; 3] = [
+const HEADLINE_KEYS: [&str; 4] = [
     "replay_records_per_sec",
     "streamed_records_per_sec",
     "served_decisions_per_sec",
+    "tune_configs_per_sec",
 ];
 
 fn main() -> ExitCode {
@@ -118,22 +121,32 @@ fn main() -> ExitCode {
     let mut failures = 0;
     let mut compared = 0u32;
     for key in HEADLINE_KEYS {
-        let Some(new) = new_doc.get(key).and_then(JsonValue::as_f64) else {
-            continue;
-        };
-        // Walk back to the newest older document carrying this key —
-        // benches measure different things (replay vs serving), so the
-        // right baseline is rarely the immediate predecessor.
-        let baseline = history
-            .iter()
-            .find_map(|(path, doc)| doc.get(key).and_then(JsonValue::as_f64).map(|v| (path, v)));
-        match baseline {
-            Some((path, old)) => {
-                eprintln!("  baseline for {key}: {}", path.display());
+        // Walk back to the newest document carrying this key — benches
+        // measure different things (replay vs serving vs tuning), so
+        // the newest overall document rarely carries every key. When
+        // the document under test lacks a key, the key's two newest
+        // carriers are still gated against each other, so adding a new
+        // bench never silently retires an old gate.
+        let mut carriers = std::iter::once((&new_path, &new_doc))
+            .chain(history.iter().map(|(path, doc)| (path, doc)))
+            .filter_map(|(path, doc)| doc.get(key).and_then(JsonValue::as_f64).map(|v| (path, v)));
+        match (carriers.next(), carriers.next()) {
+            (Some((new_carrier, new)), Some((old_carrier, old))) => {
+                eprintln!(
+                    "  {key}: {} vs baseline {}",
+                    new_carrier.display(),
+                    old_carrier.display()
+                );
                 check(key, new, old, tolerance, &mut failures);
                 compared += 1;
             }
-            None => eprintln!("  note  {key}: no committed baseline carries it yet"),
+            (Some((only, _)), None) => {
+                eprintln!(
+                    "  note  {key}: only {} carries it — no second carrier to gate against",
+                    only.display()
+                );
+            }
+            (None, _) => {}
         }
     }
     if compared == 0 {

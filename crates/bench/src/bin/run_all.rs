@@ -38,7 +38,8 @@ fn main() {
     bfbp_bench::experiments::fig10_tables(scale);
     bfbp_bench::experiments::fig11_relative(scale);
     bfbp_bench::experiments::fig12_hits(scale);
-    bfbp_bench::experiments::table1_storage();
+    bfbp_bench::experiments::table1_storage(scale);
+    bfbp_bench::experiments::budget_frontier(scale);
     bfbp_bench::experiments::profile_assist(scale);
     bfbp_bench::experiments::design_ablations(scale);
     bfbp_bench::experiments::relearning_perturbation();

@@ -78,14 +78,20 @@ fn main() -> ExitCode {
             "--list" => {
                 // Caps column: `B`atch-preferred, `C`heckpointable,
                 // `I`ntrospectable, `P`rovenance (probed through the
-                // consolidated capability descriptor).
+                // consolidated capability descriptor). Storage column:
+                // the default configuration's total budget in KB, so
+                // tuner feasibility is visible without running anything.
                 for name in registry.names() {
                     let desc = registry.describe(name).unwrap_or_default();
                     let caps = registry
                         .capabilities(name)
                         .map(|caps| caps.flags())
                         .unwrap_or_else(|_| "????".to_owned());
-                    println!("{name:<18} {caps}  {desc}");
+                    let kb = registry
+                        .storage(name, &bfbp_sim::registry::Params::new())
+                        .map(|s| format!("{:7.1} KB", s.total_bits() as f64 / 8192.0))
+                        .unwrap_or_else(|_| "      ? KB".to_owned());
+                    println!("{name:<18} {caps} {kb}  {desc}");
                 }
                 return ExitCode::SUCCESS;
             }

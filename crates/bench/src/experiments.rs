@@ -26,6 +26,7 @@ use bfbp_sim::registry::{PredictorRegistry, PredictorSpec};
 use bfbp_sim::runner::{scaled_len, SuiteRunner};
 use bfbp_sim::simulate::{simulate, SimResult};
 use bfbp_sim::storage::StorageBreakdown;
+use bfbp_sim::tune::{tune, SearchSpace, TuneError, TuneOptions};
 use bfbp_tage::config::TageConfig;
 use bfbp_tage::isl::Isl;
 use bfbp_tage::tage::Tage;
@@ -384,10 +385,17 @@ pub fn fig12_hits(scale: f64) -> Vec<(String, f64, f64)> {
     out
 }
 
+/// Traces the Table I configurations are measured on — a spread over
+/// the suite's categories, fetched at full scaled length so the cache
+/// entries are the same ones the budget-sweep tuner's final rung reads.
+const TABLE1_TRACES: [&str; 3] = ["SPEC03", "INT1", "SERV1"];
+
 /// Table I: the storage budget of the 10-table BF-TAGE, regenerated from
 /// the actual configuration (paper total: 51,100 bytes), alongside the
-/// matched conventional configuration. Returns the BF-TAGE breakdown.
-pub fn table1_storage() -> StorageBreakdown {
+/// matched conventional configuration — with measured MPKI context on a
+/// spread of suite traces served from the trace cache, like every other
+/// experiment bin. Returns the BF-TAGE breakdown.
+pub fn table1_storage(scale: f64) -> StorageBreakdown {
     banner(
         "Table I — Total storage for BF-TAGE with 10 tagged tables",
         "paper total: 51,100 bytes (tables + BST + RS + unfiltered history)",
@@ -405,7 +413,105 @@ pub fn table1_storage() -> StorageBreakdown {
         "\n(conventional 10-table TAGE for comparison: {} bytes)",
         conv.storage().total_bytes()
     );
+    println!(
+        "\nmeasured MPKI at these budgets ({} cache-served suite traces, scale {scale}):",
+        TABLE1_TRACES.len()
+    );
+    println!(
+        "{}{}{}",
+        cell("trace", 10),
+        cell("BF-TAGE-10", 12),
+        cell("TAGE-10", 12)
+    );
+    let cache = TraceCache::from_env();
+    for name in TABLE1_TRACES {
+        let spec = suite::find(name).expect("Table I trace in suite");
+        let (trace, _) = cache.fetch(&spec, scaled_len(&spec, scale));
+        let mut bf = registry
+            .build("bf-tage", &bfbp_sim::registry::Params::new())
+            .expect("bf-tage is registered");
+        let r_bf = simulate(bf.as_mut(), &trace);
+        let mut conv = registry
+            .build("tage", &bfbp_sim::registry::Params::new())
+            .expect("tage is registered");
+        let r_conv = simulate(conv.as_mut(), &trace);
+        println!(
+            "{}{}{}",
+            cell(name, 10),
+            cell(&format!("{:.3}", r_bf.mpki()), 12),
+            cell(&format!("{:.3}", r_conv.mpki()), 12)
+        );
+    }
     storage
+}
+
+/// One budget's Pareto frontier: `(params summary, total bits, mean
+/// MPKI)` per point, cheapest first.
+pub type BudgetFrontier = Vec<(String, u64, f64)>;
+
+/// The paper's design-space exploration, automated: tune the BF-TAGE
+/// family (`bf-isl-tage`, tables 4..10, SC on/off) at fixed storage
+/// budgets with the successive-halving tuner and report each budget's
+/// Pareto frontier. The 56 KB budget is the Table I class (tagged
+/// tables + BST + RS + history), 64 KB is the paper's headline budget.
+/// Returns `(budget_bits, frontier (params, total_bits, mean MPKI))`
+/// per budget.
+pub fn budget_frontier(scale: f64) -> Vec<(u64, BudgetFrontier)> {
+    banner(
+        "Budget sweep — BF-TAGE design space at fixed storage budgets",
+        "successive-halving search over bf-isl-tage:tables=4..10,sc=true|false;\n\
+         Pareto frontier of mean MPKI vs. total storage at each budget",
+    );
+    let registry = bfbp::default_registry();
+    let space = SearchSpace::parse("bf-isl-tage:tables=4..10,sc=true|false")
+        .expect("budget-sweep space parses");
+    let traces = suite::suite();
+    let mut out = Vec::new();
+    for budget_kb in [56u64, 60, 64] {
+        let budget_bits = budget_kb * 8192;
+        let options = TuneOptions {
+            eta: 2,
+            rungs: 2,
+            scale,
+            sweep: SweepOptions::from_env(),
+            ..TuneOptions::default()
+        };
+        match tune(&registry, &space, budget_bits, &traces, &options) {
+            Ok(report) => {
+                println!(
+                    "\n{budget_kb} KB budget: {} feasible of {} declared, {} evaluations, \
+                     wall {:.0} ms",
+                    report.candidates().len(),
+                    report.declared(),
+                    report.configs_evaluated(),
+                    report.wall().as_secs_f64() * 1e3
+                );
+                let mut frontier = Vec::new();
+                for point in report.frontier() {
+                    println!(
+                        "  {:>7.1} KB  {:>7.3} MPKI  {}",
+                        point.total_bits as f64 / 8192.0,
+                        point.mean_mpki,
+                        point.params.summary()
+                    );
+                    frontier.push((point.params.summary(), point.total_bits, point.mean_mpki));
+                }
+                out.push((budget_bits, frontier));
+            }
+            Err(TuneError::NoFeasible {
+                declared,
+                over_budget,
+                ..
+            }) => {
+                println!(
+                    "\n{budget_kb} KB budget: infeasible ({over_budget} of {declared} over budget)"
+                );
+                out.push((budget_bits, Vec::new()));
+            }
+            Err(e) => panic!("budget sweep at {budget_kb} KB failed: {e}"),
+        }
+    }
+    out
 }
 
 /// §VI-D: static profile-assisted classification on the traces the paper
@@ -665,7 +771,7 @@ mod tests {
 
     #[test]
     fn table1_close_to_paper_budget() {
-        let s = table1_storage();
+        let s = table1_storage(SMOKE);
         let bytes = s.total_bytes();
         // Paper: 51,100 bytes; ours includes the full 2048-deep raw
         // history, so allow a band.
@@ -673,6 +779,25 @@ mod tests {
             (40_000..62_000).contains(&bytes),
             "BF-TAGE-10 storage {bytes} bytes"
         );
+    }
+
+    #[test]
+    fn budget_frontier_respects_budgets() {
+        let frontiers = budget_frontier(SMOKE);
+        assert_eq!(frontiers.len(), 3);
+        for (budget_bits, frontier) in &frontiers {
+            // Each of the probed budgets (56/60/64 KB) admits at least
+            // one bf-isl-tage configuration, and every frontier point
+            // fits its budget.
+            assert!(!frontier.is_empty(), "no frontier at {budget_bits} bits");
+            for (params, total_bits, mpki) in frontier {
+                assert!(
+                    total_bits <= budget_bits,
+                    "{params} ({total_bits} bits) exceeds {budget_bits}"
+                );
+                assert!(mpki.is_finite() && *mpki >= 0.0);
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod runner;
 pub mod service;
 pub mod simulate;
 pub mod storage;
+pub mod tune;
 pub mod wire;
 
 pub use ckpt::{
@@ -59,6 +60,10 @@ pub use simulate::{
     mean_mpki, simulate, IntervalPoint, SimResult, Simulation, SimulationAborted, SimulationError,
 };
 pub use storage::StorageBreakdown;
+pub use tune::{
+    tune, Candidate, Dimension, FrontierPoint, RungOutcome, SearchSpace, TuneError, TuneOptions,
+    TuneReport, FRONTIER_SCHEMA, TUNE_MAGIC,
+};
 pub use wire::{
     ErrorCode, Frame, FrameKind, FrameReader, PredictorInfo, SessionStats, WireError, MAX_FRAME,
     WIRE_PROTOCOL,

@@ -181,9 +181,16 @@ impl Params {
         self.values.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// All parameter keys in order, for error messages and search-space
+    /// validation.
+    pub fn keys(&self) -> Vec<String> {
+        self.values.keys().cloned().collect()
+    }
+
     fn required(&self, key: &str) -> Result<&ParamValue, BuildError> {
         self.get(key).ok_or_else(|| BuildError::UnknownParam {
             param: key.to_owned(),
+            known: self.keys(),
         })
     }
 
@@ -250,6 +257,7 @@ impl Params {
             if !merged.values.contains_key(key) {
                 return Err(BuildError::UnknownParam {
                     param: key.to_owned(),
+                    known: self.keys(),
                 });
             }
             merged.values.insert(key.to_owned(), value.clone());
@@ -281,6 +289,9 @@ pub enum BuildError {
     UnknownParam {
         /// The offending key.
         param: String,
+        /// Every key the predictor accepts (its declared defaults), so
+        /// the error names the valid alternatives.
+        known: Vec<String>,
     },
     /// A parameter value is out of range or of the wrong type.
     InvalidValue {
@@ -316,8 +327,16 @@ impl fmt::Display for BuildError {
                     known.join(", ")
                 )
             }
-            BuildError::UnknownParam { param } => {
-                write!(f, "unknown parameter {param:?}")
+            BuildError::UnknownParam { param, known } => {
+                if known.is_empty() {
+                    write!(f, "unknown parameter {param:?}; takes no parameters")
+                } else {
+                    write!(
+                        f,
+                        "unknown parameter {param:?}; accepted: {}",
+                        known.join(", ")
+                    )
+                }
             }
             BuildError::InvalidValue { param, reason } => {
                 write!(f, "invalid value for {param:?}: {reason}")
@@ -553,6 +572,17 @@ impl PredictorRegistry {
         Ok(predictor.capabilities())
     }
 
+    /// The hardware storage breakdown of `name` built with `overrides`
+    /// overlaid on its defaults — what the `sweep --list` budget column
+    /// and the tuner's feasibility check read without running a trace.
+    pub fn storage(
+        &self,
+        name: &str,
+        overrides: &Params,
+    ) -> Result<crate::storage::StorageBreakdown, BuildError> {
+        Ok(self.build(name, overrides)?.storage())
+    }
+
     /// The default parameters registered for `name`.
     pub fn defaults(&self, name: &str) -> Option<&Params> {
         self.entries.get(name).map(|e| &e.defaults)
@@ -603,9 +633,11 @@ mod tests {
         assert_eq!(
             err,
             BuildError::UnknownParam {
-                param: "tables".into()
+                param: "tables".into(),
+                known: vec![]
             }
         );
+        assert!(err.to_string().contains("takes no parameters"));
     }
 
     #[test]

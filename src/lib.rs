@@ -38,9 +38,10 @@ pub use bfbp_tage as tage;
 pub use bfbp_trace as trace;
 
 pub use bfbp_sim::{
-    chrome_trace, parse_events, parse_json, postmortem_json, read_events, FlightEntry,
-    FlightRecorder, ParsedEvent, PredictorCaps, Provenance, ServeClient, ServeError, ServeOptions,
-    Server, ServerHandle, SessionStats, Simulation, SimulationError, StreamedTrace, TraceInput,
+    chrome_trace, parse_events, parse_json, postmortem_json, read_events, tune, FlightEntry,
+    FlightRecorder, FrontierPoint, ParsedEvent, PredictorCaps, Provenance, SearchSpace,
+    ServeClient, ServeError, ServeOptions, Server, ServerHandle, SessionStats, Simulation,
+    SimulationError, StreamedTrace, TraceInput, TuneError, TuneOptions, TuneReport,
 };
 pub use bfbp_trace::{
     CacheStatus, FileSource, ReplaySource, SynthSource, TraceCache, TraceChunk, TraceSource,

@@ -1,0 +1,163 @@
+//! Storage-accounting invariants for every registry predictor: budgets
+//! are nonzero unless the predictor is static, survive a checkpoint
+//! save/load round-trip unchanged, and always equal the sum of the
+//! per-component breakdown — plus the registry's typed unknown-param
+//! error, which must name both the offending key and every key the
+//! predictor actually accepts.
+
+use bfbp::sim::ckpt::{StateReader, StateWriter};
+use bfbp::sim::registry::{BuildError, Params};
+use bfbp::sim::simulate::Simulation;
+use bfbp::sim::storage::StorageBreakdown;
+use bfbp::trace::record::Trace;
+use bfbp::trace::synth::suite;
+
+fn mm1(n_records: usize) -> Trace {
+    suite::find("MM1")
+        .expect("MM1 in suite")
+        .generate_len(n_records)
+}
+
+/// Per-item `(label, bits)` pairs, for exact breakdown comparison.
+fn items(s: &StorageBreakdown) -> Vec<(String, u64)> {
+    s.items()
+        .iter()
+        .map(|i| (i.label().to_owned(), i.bits()))
+        .collect()
+}
+
+/// Invariant (a): every dynamic predictor declares a nonzero storage
+/// budget; only the static baselines (no mutable state at all) may
+/// report zero bits.
+#[test]
+fn storage_is_nonzero_unless_static() {
+    let registry = bfbp::default_registry();
+    for name in registry.names() {
+        let storage = registry.storage(name, &Params::new()).expect("build");
+        if name.starts_with("static") {
+            assert_eq!(
+                storage.total_bits(),
+                0,
+                "{name}: static predictor claims {} bits",
+                storage.total_bits()
+            );
+        } else {
+            assert!(
+                storage.total_bits() > 0,
+                "{name}: dynamic predictor reports zero storage"
+            );
+        }
+    }
+}
+
+/// Invariant (b): the declared storage budget is a property of the
+/// *configuration*, not the runtime state — running a trace and then
+/// round-tripping the predictor through checkpoint save/load must leave
+/// the total and every per-component entry bit-for-bit identical.
+#[test]
+fn storage_survives_checkpoint_roundtrip_for_every_predictor() {
+    let registry = bfbp::default_registry();
+    let trace = mm1(2_000);
+    for name in registry.names() {
+        let mut original = registry.build(name, &Params::new()).expect("build");
+        let fresh_storage = original.storage();
+
+        Simulation::new(original.as_mut())
+            .run_trace(&trace)
+            .expect("warm-up run");
+        let warmed_storage = original.storage();
+        assert_eq!(
+            items(&fresh_storage),
+            items(&warmed_storage),
+            "{name}: running a trace changed the storage breakdown"
+        );
+
+        let Some(restorable) = original.checkpointing() else {
+            continue;
+        };
+        let mut w = StateWriter::new();
+        restorable.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = registry.build(name, &Params::new()).expect("build");
+        let mut r = StateReader::new(&bytes);
+        restored
+            .checkpointing()
+            .expect("capability is stable across instances")
+            .load_state(&mut r)
+            .unwrap_or_else(|e| panic!("{name}: load_state failed: {e:?}"));
+        assert_eq!(
+            items(&warmed_storage),
+            items(&restored.storage()),
+            "{name}: checkpoint round-trip changed the storage breakdown"
+        );
+    }
+}
+
+/// Invariant (c): the headline total is exactly the sum of the
+/// per-component breakdown entries — no hidden or double-counted bits —
+/// and the byte total is the bit total rounded up.
+#[test]
+fn storage_total_equals_component_sum_for_every_predictor() {
+    let registry = bfbp::default_registry();
+    for name in registry.names() {
+        let storage = registry.storage(name, &Params::new()).expect("build");
+        let component_sum: u64 = storage.items().iter().map(|i| i.bits()).sum();
+        assert_eq!(
+            storage.total_bits(),
+            component_sum,
+            "{name}: total_bits disagrees with its component sum"
+        );
+        assert_eq!(
+            storage.total_bytes(),
+            storage.total_bits().div_ceil(8),
+            "{name}: total_bytes is not the rounded-up bit total"
+        );
+    }
+}
+
+/// The registry's unknown-parameter diagnostic: for EVERY registered
+/// predictor, overriding a key it does not declare must fail with the
+/// typed [`BuildError::UnknownParam`] naming that key and listing the
+/// predictor's accepted keys — and the rendered message must carry both,
+/// so a tuner user sees the fix without opening the source.
+#[test]
+fn unknown_param_names_key_and_accepted_keys_for_every_predictor() {
+    let registry = bfbp::default_registry();
+    for name in registry.names() {
+        let bogus = Params::new().set("definitely-not-a-param", 1usize);
+        let err = registry
+            .build(name, &bogus)
+            .err()
+            .unwrap_or_else(|| panic!("{name}: bogus parameter was accepted"));
+        let accepted = registry
+            .defaults(name)
+            .expect("registered predictor has defaults")
+            .keys();
+        match &err {
+            BuildError::UnknownParam { param, known } => {
+                assert_eq!(param, "definitely-not-a-param", "{name}");
+                assert_eq!(known, &accepted, "{name}: accepted-key list differs");
+            }
+            other => panic!("{name}: expected UnknownParam, got {other:?}"),
+        }
+        let message = err.to_string();
+        assert!(
+            message.contains("definitely-not-a-param"),
+            "{name}: message {message:?} does not name the bad key"
+        );
+        if accepted.is_empty() {
+            assert!(
+                message.contains("takes no parameters"),
+                "{name}: message {message:?} hides that no keys exist"
+            );
+        } else {
+            for key in &accepted {
+                assert!(
+                    message.contains(key.as_str()),
+                    "{name}: message {message:?} omits accepted key {key:?}"
+                );
+            }
+        }
+    }
+}
